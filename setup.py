@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` requires wheel for PEP 660 builds; when it is missing,
+`python setup.py develop` provides an equivalent editable install.
+"""
+from setuptools import setup
+
+setup()

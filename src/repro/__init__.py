@@ -1,0 +1,81 @@
+"""repro: reproduction of "Detecting Qubit-coupling Faults in Ion-trap
+Quantum Computers" (Maksymov, Nguyen, Chaplin, Nam, Markov -- HPCA 2022).
+
+Public API tour
+---------------
+Build a virtual machine, inject a fault, diagnose it::
+
+    from repro import VirtualIonTrap, CouplingFault, NoiseParameters
+    from repro import SingleFaultProtocol, TestExecutor
+
+    machine = VirtualIonTrap(8, noise=NoiseParameters.paper_scaling(), seed=1)
+    machine.inject_fault(CouplingFault(frozenset({2, 6}), under_rotation=0.4))
+    executor = TestExecutor(machine, shots=300)
+    diagnosis = SingleFaultProtocol(8).diagnose(executor)
+    assert diagnosis.identified == frozenset({2, 6})
+
+Sub-packages
+------------
+* :mod:`repro.core` -- the fault-testing protocols (the contribution).
+* :mod:`repro.sim` -- statevector + fast-XX simulation engines.
+* :mod:`repro.noise` -- error models (amplitude, 1/f phase, SPAM, drift).
+* :mod:`repro.physics` -- ion-chain modes, Lamb-Dicke, fidelity formulas.
+* :mod:`repro.trap` -- the virtual machine, calibration, timing, duty cycle.
+* :mod:`repro.circuits` -- application circuits and coupling usage.
+* :mod:`repro.analysis` -- thresholds, reporting, per-figure experiments.
+"""
+
+from .core import (
+    AdaptiveBinarySearch,
+    CostTracker,
+    FixedThresholds,
+    MagnitudeSearchConfig,
+    MultiFaultProtocol,
+    OracleExecutor,
+    PointCheckStrategy,
+    SingleFaultProtocol,
+    Syndrome,
+    TestExecutor,
+    TestSpec,
+)
+from .noise import (
+    CalibrationDriftProcess,
+    CompositeUnderRotationDistribution,
+    NoiseParameters,
+    SpamModel,
+)
+from .sim import Circuit, StatevectorSimulator, XXCircuitEvaluator
+from .trap import (
+    CouplingFault,
+    DutyCycleBreakdown,
+    TimingModel,
+    VirtualIonTrap,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveBinarySearch",
+    "CostTracker",
+    "FixedThresholds",
+    "MagnitudeSearchConfig",
+    "MultiFaultProtocol",
+    "OracleExecutor",
+    "PointCheckStrategy",
+    "SingleFaultProtocol",
+    "Syndrome",
+    "TestExecutor",
+    "TestSpec",
+    "CalibrationDriftProcess",
+    "CompositeUnderRotationDistribution",
+    "NoiseParameters",
+    "SpamModel",
+    "Circuit",
+    "StatevectorSimulator",
+    "XXCircuitEvaluator",
+    "CouplingFault",
+    "DutyCycleBreakdown",
+    "TimingModel",
+    "VirtualIonTrap",
+    "__version__",
+]

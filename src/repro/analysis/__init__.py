@@ -1,0 +1,19 @@
+"""Analysis layer: detection thresholds, reporting, experiment runners."""
+
+from .detection import (
+    CalibratedThresholds,
+    calibrate_thresholds,
+    threshold_from_baseline,
+    two_cluster_threshold,
+)
+from .reporting import ascii_table, format_percent, series_csv
+
+__all__ = [
+    "CalibratedThresholds",
+    "calibrate_thresholds",
+    "threshold_from_baseline",
+    "two_cluster_threshold",
+    "ascii_table",
+    "format_percent",
+    "series_csv",
+]

@@ -1,0 +1,59 @@
+"""Experiment runners: one module per figure/table of the evaluation.
+
+Each module exposes a frozen ``*Config`` dataclass (defaults match the
+paper's parameters) and a ``run_*`` entry point returning structured
+results.  The benchmark harness calls these with scaled-down configs and
+prints the paper-comparable rows; EXPERIMENTS.md records full-size runs.
+"""
+
+from .fig2 import Fig2Result, run_fig2
+from .fig3 import Fig3Config, Fig3Point, run_fig3
+from .fig6 import Fig6Config, Fig6Result, Fig6Row, battery_specs, run_fig6
+from .fig7 import Fig7Config, Fig7Result, run_fig7
+from .fig8 import Fig8Config, Fig8Series, class_test_for_pair, run_fig8
+from .fig9 import Fig9Config, Fig9Panel, distribution_snapshot, run_fig9
+from .fig10 import Fig10Config, Fig10Row, run_fig10, sec9_headline
+from .fig11 import Fig11Config, Fig11Row, run_fig11
+from .table2 import (
+    PAPER_TABLE_II,
+    Table2Cell,
+    Table2Config,
+    run_table2,
+    sequential_identification,
+)
+
+__all__ = [
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Config",
+    "Fig3Point",
+    "run_fig3",
+    "Fig6Config",
+    "Fig6Result",
+    "Fig6Row",
+    "battery_specs",
+    "run_fig6",
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Config",
+    "Fig8Series",
+    "class_test_for_pair",
+    "run_fig8",
+    "Fig9Config",
+    "Fig9Panel",
+    "distribution_snapshot",
+    "run_fig9",
+    "Fig10Config",
+    "Fig10Row",
+    "run_fig10",
+    "sec9_headline",
+    "Fig11Config",
+    "Fig11Row",
+    "run_fig11",
+    "PAPER_TABLE_II",
+    "Table2Cell",
+    "Table2Config",
+    "run_table2",
+    "sequential_identification",
+]

@@ -1,0 +1,42 @@
+"""Fig. 2: the duty cycle of a commercial ion-trap QC.
+
+~53 % of wall-clock runs client jobs; ~47 % goes to testing and
+calibration, a large share of it qubit-coupling work.  This experiment
+reports the baseline breakdown and the uptime gained when coupling tests
+are accelerated by the Fig. 10 speed-up at a given machine size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...trap.duty_cycle import DutyCycleBreakdown, improved_duty_cycle
+from .fig10 import Fig10Config, run_fig10
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    baseline: DutyCycleBreakdown
+    improved: DutyCycleBreakdown
+    speedup_used: float
+    n_qubits: int
+
+    @property
+    def uptime_gain(self) -> float:
+        """Additional fraction of wall-clock available for jobs."""
+        return self.improved.jobs - self.baseline.jobs
+
+
+def run_fig2(n_qubits: int = 16) -> Fig2Result:
+    """Baseline vs improved duty cycle at one machine size."""
+    baseline = DutyCycleBreakdown()
+    rows = run_fig10(Fig10Config(qubit_counts=(n_qubits,)))
+    speedup = rows[0].non_adaptive_speedup
+    return Fig2Result(
+        baseline=baseline,
+        improved=improved_duty_cycle(baseline, speedup),
+        speedup_used=speedup,
+        n_qubits=n_qubits,
+    )

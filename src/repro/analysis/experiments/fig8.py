@@ -1,0 +1,159 @@
+"""Fig. 8: fault contrast vs under-rotation at 8, 16 and 32 qubits.
+
+Sweeps the under-rotation of a single coupling and records the fidelity of
+the class test containing it, under the Sec. VII scaling error model (10 %
+random amplitude errors only — phase noise and residual couplings are
+suppressed, as the paper does for clarity).  As N grows, a class test
+exercises C(N/2, 2) couplings, so the fault-free baseline fidelity decays
+and its spread widens — the faulty pair "needs to be an outlier to be
+distinguished".
+
+Reported per (N, repetitions):
+
+* the fault-free baseline fidelity (the figure's dashed line),
+* the detection threshold (lower quantile of the baseline distribution),
+* mean test fidelity vs under-rotation (the figure's curves),
+* the minimum under-rotation detected in >= 95 % of trials — the paper
+  quotes ~25/30/35 % (2-MS) and ~20/25/30 % (4-MS) for N = 8/16/32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.protocol import FixedThresholds, TestExecutor
+from ...core.single_fault import SingleFaultProtocol
+from ...core.tests_builder import TestSpec
+from ...noise.models import NoiseParameters
+from ...trap.machine import VirtualIonTrap
+
+__all__ = ["Fig8Config", "Fig8Series", "run_fig8", "class_test_for_pair"]
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    qubit_counts: tuple[int, ...] = (8, 16, 32)
+    repetition_counts: tuple[int, ...] = (2, 4)
+    under_rotations: tuple[float, ...] = (
+        0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+    )
+    amplitude_sigma: float = 0.10
+    shots: int = 300
+    trials: int = 40
+    baseline_trials: int = 60
+    detection_quantile: float = 0.05
+    target_detection: float = 0.95
+    noise_realizations: int = 4
+    seed: int = 8
+
+
+@dataclass(frozen=True)
+class Fig8Series:
+    """One (N, repetitions) sweep."""
+
+    n_qubits: int
+    repetitions: int
+    under_rotations: tuple[float, ...]
+    mean_fidelity: tuple[float, ...]
+    detection_rate: tuple[float, ...]
+    baseline_mean: float
+    threshold: float
+    min_detectable_95: float | None
+
+
+def class_test_for_pair(
+    n_qubits: int, pair: tuple[int, int], repetitions: int
+) -> TestSpec:
+    """The first round-1 class test containing the given pair."""
+    protocol = SingleFaultProtocol(n_qubits, repetitions=repetitions)
+    for spec in protocol.round1_specs():
+        if frozenset(pair) in spec.pairs:
+            return spec
+    raise ValueError(f"pair {pair} is bit-complementary; no class contains it")
+
+
+def _fidelity_samples(
+    cfg: Fig8Config,
+    n_qubits: int,
+    spec: TestSpec,
+    under_rotation: float,
+    pair: tuple[int, int],
+    trials: int,
+    seed: int,
+) -> np.ndarray:
+    noise = NoiseParameters(amplitude_sigma=cfg.amplitude_sigma)
+    machine = VirtualIonTrap(
+        n_qubits,
+        noise=noise,
+        seed=seed,
+        noise_realizations=cfg.noise_realizations,
+    )
+    machine.set_under_rotation(pair, under_rotation)
+    executor = TestExecutor(
+        machine, thresholds=FixedThresholds(), shots=cfg.shots
+    )
+    return np.array(
+        [executor.execute(spec).fidelity for _ in range(trials)]
+    )
+
+
+def run_fig8(cfg: Fig8Config | None = None) -> list[Fig8Series]:
+    """Produce every (N, repetitions) sweep of Fig. 8."""
+    cfg = cfg or Fig8Config()
+    out: list[Fig8Series] = []
+    pair = (0, 1)
+    for n_qubits in cfg.qubit_counts:
+        for repetitions in cfg.repetition_counts:
+            spec = class_test_for_pair(n_qubits, pair, repetitions)
+            baseline = _fidelity_samples(
+                cfg,
+                n_qubits,
+                spec,
+                0.0,
+                pair,
+                cfg.baseline_trials,
+                seed=cfg.seed,
+            )
+            threshold = float(np.quantile(baseline, cfg.detection_quantile))
+            means: list[float] = []
+            rates: list[float] = []
+            for idx, u in enumerate(cfg.under_rotations):
+                samples = _fidelity_samples(
+                    cfg,
+                    n_qubits,
+                    spec,
+                    u,
+                    pair,
+                    cfg.trials,
+                    seed=cfg.seed + 13 * idx + n_qubits,
+                )
+                means.append(float(samples.mean()))
+                rates.append(float(np.mean(samples < threshold)))
+            min_u = _first_crossing(
+                cfg.under_rotations, rates, cfg.target_detection
+            )
+            out.append(
+                Fig8Series(
+                    n_qubits=n_qubits,
+                    repetitions=repetitions,
+                    under_rotations=cfg.under_rotations,
+                    mean_fidelity=tuple(means),
+                    detection_rate=tuple(rates),
+                    baseline_mean=float(baseline.mean()),
+                    threshold=threshold,
+                    min_detectable_95=min_u,
+                )
+            )
+    return out
+
+
+def _first_crossing(
+    xs: tuple[float, ...], rates: list[float], target: float
+) -> float | None:
+    """Smallest x where the detection rate first reaches the target."""
+    for x, rate in zip(xs, rates):
+        if rate >= target:
+            return x
+    return None

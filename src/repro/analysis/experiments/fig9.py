@@ -1,0 +1,204 @@
+"""Fig. 9: identification probability vs under-rotation spread.
+
+Every coupling's under-rotation is drawn from the composite distribution
+of footnote 10 — uniform up to the 6 % calibration threshold, right-tail
+Gaussian of spread sigma beyond it.  As sigma grows, badly miscalibrated
+couplings separate from the bulk *by magnitude*, and the Fig. 5 loop
+(magnitude search + single-fault protocol + separation by couplings)
+identifies the largest one, two, three faults with increasing success.
+
+Panels: 2-MS and 4-MS test variants x N = 8/16/32, each showing
+P(top-1), P(top-2), P(top-3) vs sigma (plus the panel-G distribution
+snapshot, reproduced by :func:`distribution_snapshot`).
+
+Success criterion: the j largest-under-rotation couplings are exactly the
+first j couplings the loop diagnoses (order-insensitive within the top-j
+set).  Thresholds are auto-calibrated per (N, repetitions) from in-spec
+machines, as in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...analysis.detection import CalibratedThresholds
+from ...core.multi_fault import MagnitudeSearchConfig, MultiFaultProtocol
+from ...core.protocol import TestExecutor
+from ...noise.distributions import CompositeUnderRotationDistribution
+from ...noise.models import NoiseParameters
+from ...trap.calibration import all_pairs
+from ...trap.machine import VirtualIonTrap
+
+__all__ = ["Fig9Config", "Fig9Panel", "run_fig9", "distribution_snapshot"]
+
+Pair = frozenset[int]
+
+
+@dataclass(frozen=True)
+class Fig9Config:
+    qubit_counts: tuple[int, ...] = (8, 16, 32)
+    repetition_counts: tuple[int, ...] = (2, 4)
+    sigmas: tuple[float, ...] = (0.025, 0.05, 0.075, 0.10, 0.15)
+    knee: float = 0.06
+    top_k: tuple[int, ...] = (1, 2, 3)
+    amplitude_sigma: float = 0.10
+    shots: int = 300
+    trials: int = 30
+    threshold_trials: int = 8
+    threshold_quantile: float = 0.05
+    threshold_margin: float = 0.10
+    noise_realizations: int = 4
+    max_faults: int = 6
+    seed: int = 9
+
+
+@dataclass(frozen=True)
+class Fig9Panel:
+    """P(top-k identified) vs sigma for one (N, repetitions) panel."""
+
+    n_qubits: int
+    repetitions: int
+    sigmas: tuple[float, ...]
+    success: dict[int, tuple[float, ...]]  # top_k -> per-sigma probability
+
+
+def distribution_snapshot(
+    sigma: float, n_couplings: int, seed: int = 0, knee: float = 0.06
+) -> np.ndarray:
+    """Panel G: one sorted sample of per-coupling under-rotations."""
+    dist = CompositeUnderRotationDistribution(sigma, knee=knee)
+    values = dist.sample(n_couplings, np.random.default_rng(seed))
+    return np.sort(values)[::-1]
+
+
+def _calibrate(
+    cfg: Fig9Config, n_qubits: int, repetitions: int
+) -> CalibratedThresholds:
+    """Thresholds from in-spec machines (bulk <= knee, no tail)."""
+    from ...core.tests_builder import TestSpec
+    from .fig6 import battery_specs
+
+    noise = NoiseParameters(amplitude_sigma=cfg.amplitude_sigma)
+    pairs = all_pairs(n_qubits)
+    thresholds = CalibratedThresholds(default=0.5)
+    samples: dict[tuple[int, str], list[float]] = {}
+    for trial in range(cfg.threshold_trials):
+        rng = np.random.default_rng(5000 + 31 * trial + n_qubits)
+        machine = VirtualIonTrap(
+            n_qubits,
+            noise=noise,
+            seed=7000 + trial,
+            noise_realizations=cfg.noise_realizations,
+        )
+        machine.calibration.load_snapshot(
+            {p: float(rng.uniform(0.0, cfg.knee)) for p in pairs}
+        )
+        executor = TestExecutor(machine, thresholds=thresholds, shots=cfg.shots)
+        specs = battery_specs(n_qubits, repetitions)
+        if n_qubits <= 16:
+            specs.append(
+                TestSpec(
+                    name="canary-baseline",
+                    pairs=tuple(pairs),
+                    repetitions=repetitions,
+                    kind="canary",
+                )
+            )
+        specs.append(
+            TestSpec(
+                name="verify-baseline",
+                pairs=(pairs[trial % len(pairs)],),
+                repetitions=repetitions,
+                kind="verify",
+            )
+        )
+        for spec in specs:
+            result = executor.execute(spec)
+            samples.setdefault((repetitions, spec.kind), []).append(
+                result.fidelity
+            )
+    for key, fidelities in samples.items():
+        value = float(
+            np.quantile(np.array(fidelities), cfg.threshold_quantile)
+            * (1.0 - cfg.threshold_margin)
+        )
+        thresholds.set(key[0], key[1], value)
+    return thresholds
+
+
+def _one_trial(
+    cfg: Fig9Config,
+    n_qubits: int,
+    repetitions: int,
+    sigma: float,
+    thresholds: CalibratedThresholds,
+    seed: int,
+) -> dict[int, bool]:
+    """Sample a machine state, run the loop, grade top-k identification."""
+    rng = np.random.default_rng(seed)
+    dist = CompositeUnderRotationDistribution(sigma, knee=cfg.knee)
+    pairs = all_pairs(n_qubits)
+    draws = dist.sample(len(pairs), rng)
+    noise = NoiseParameters(amplitude_sigma=cfg.amplitude_sigma)
+    machine = VirtualIonTrap(
+        n_qubits,
+        noise=noise,
+        seed=seed,
+        noise_realizations=cfg.noise_realizations,
+    )
+    machine.calibration.load_snapshot(
+        {p: float(u) for p, u in zip(pairs, draws)}
+    )
+    ranked = [p for _, p in sorted(zip(-draws, pairs), key=lambda t: t[0])]
+    executor = TestExecutor(machine, thresholds=thresholds, shots=cfg.shots)
+    protocol = MultiFaultProtocol(
+        n_qubits,
+        magnitude=MagnitudeSearchConfig((repetitions,)),
+        recalibrate=machine.recalibrate,
+        max_faults=cfg.max_faults,
+        canary_style="battery",
+    )
+    report = protocol.diagnose_all(executor)
+    found = list(report.identified)
+    grades: dict[int, bool] = {}
+    for k in cfg.top_k:
+        grades[k] = set(found[:k]) == set(ranked[:k]) and len(found) >= k
+    return grades
+
+
+def run_fig9(cfg: Fig9Config | None = None) -> list[Fig9Panel]:
+    """Produce all six panels of Fig. 9."""
+    cfg = cfg or Fig9Config()
+    panels: list[Fig9Panel] = []
+    for n_qubits in cfg.qubit_counts:
+        for repetitions in cfg.repetition_counts:
+            thresholds = _calibrate(cfg, n_qubits, repetitions)
+            success: dict[int, list[float]] = {k: [] for k in cfg.top_k}
+            for s_idx, sigma in enumerate(cfg.sigmas):
+                wins = {k: 0 for k in cfg.top_k}
+                for trial in range(cfg.trials):
+                    seed = (
+                        cfg.seed
+                        + 101 * trial
+                        + 1009 * s_idx
+                        + 10007 * n_qubits
+                        + repetitions
+                    )
+                    grades = _one_trial(
+                        cfg, n_qubits, repetitions, sigma, thresholds, seed
+                    )
+                    for k in cfg.top_k:
+                        wins[k] += int(grades[k])
+                for k in cfg.top_k:
+                    success[k].append(wins[k] / cfg.trials)
+            panels.append(
+                Fig9Panel(
+                    n_qubits=n_qubits,
+                    repetitions=repetitions,
+                    sigmas=cfg.sigmas,
+                    success={k: tuple(v) for k, v in success.items()},
+                )
+            )
+    return panels

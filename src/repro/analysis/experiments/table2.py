@@ -1,0 +1,149 @@
+"""Table II: probability of identifying 1, 2 or 3 simultaneous faults.
+
+The paper: "Table II gives estimates of the probability to correctly
+identify faulty gates for 8, 16, and 32 qubits, based on how syndromes
+start repeating with the increased number of faults", with values
+
+    =====  ======  =======  =======
+    N      1 fault 2 faults 3 faults
+    8      100%    47%      22%
+    16     100%    23%      5%
+    32     100%    12%      1%
+    =====  ======  =======  =======
+
+The exact procedure is under-specified; we implement the natural
+operational reading (documented in EXPERIMENTS.md): faults of equal
+magnitude are *not* separable by repetition count, so all k sit above
+threshold simultaneously and the sequential Fig. 5 loop runs the
+single-fault machinery against contaminated syndromes.  Identification
+succeeds when every fault is diagnosed correctly across iterations
+(each diagnosed pair is removed from the relevant set and the loop
+repeats).  A secondary, purely combinatorial criterion — uniqueness of
+the observed round-1 union syndrome's explanation — is also computed for
+comparison.
+
+For N = 8 and small k the probability is exact (enumeration over all
+fault sets); larger cases are Monte-Carlo estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ...core.combinatorics import all_couplings
+from ...core.oracle import OracleExecutor
+from ...core.single_fault import SingleFaultProtocol
+from ...core.syndrome import count_explanations, union_syndrome_mask
+
+__all__ = [
+    "Table2Config",
+    "Table2Cell",
+    "run_table2",
+    "sequential_identification",
+]
+
+Pair = frozenset[int]
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    qubit_counts: tuple[int, ...] = (8, 16, 32)
+    fault_counts: tuple[int, ...] = (1, 2, 3)
+    #: Fault-set count above which enumeration switches to Monte-Carlo.
+    exhaustive_limit: int = 5000
+    mc_trials: int = 1000
+    seed: int = 22
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    n_qubits: int
+    k_faults: int
+    p_identify: float
+    p_unique_union: float
+    exact: bool
+    paper_value: float | None
+
+
+#: The paper's Table II, for side-by-side reporting.
+PAPER_TABLE_II: dict[tuple[int, int], float] = {
+    (8, 1): 1.00, (8, 2): 0.47, (8, 3): 0.22,
+    (16, 1): 1.00, (16, 2): 0.23, (16, 3): 0.05,
+    (32, 1): 1.00, (32, 2): 0.12, (32, 3): 0.01,
+}
+
+
+def sequential_identification(
+    n_qubits: int, faults: set[Pair], max_rounds: int | None = None
+) -> bool:
+    """Run the sequential single-fault loop against equal-magnitude faults.
+
+    Uses the deterministic oracle (a test fails iff it contains an active
+    faulty coupling), so the outcome is purely combinatorial.  Returns
+    True iff every fault is eventually identified.
+    """
+    max_rounds = max_rounds if max_rounds is not None else len(faults) + 2
+    active = set(faults)
+    relevant = set(all_couplings(n_qubits))
+    for _ in range(max_rounds):
+        if not active:
+            return True
+        protocol = SingleFaultProtocol(n_qubits, relevant=relevant)
+        executor = OracleExecutor(faults=active)
+        diagnosis = protocol.diagnose(executor, verify=True)
+        if diagnosis.identified is None or diagnosis.identified not in active:
+            return False
+        active.discard(diagnosis.identified)
+        relevant.discard(diagnosis.identified)
+    return not active
+
+
+def _unique_union(n_qubits: int, faults: list[Pair]) -> bool:
+    mask = union_syndrome_mask(faults, n_qubits)
+    return count_explanations(mask, len(faults), n_qubits, limit=2) == 1
+
+
+def run_table2(cfg: Table2Config | None = None) -> list[Table2Cell]:
+    """Compute every cell of Table II."""
+    cfg = cfg or Table2Config()
+    rng = np.random.default_rng(cfg.seed)
+    cells: list[Table2Cell] = []
+    for n_qubits in cfg.qubit_counts:
+        pairs = all_couplings(n_qubits)
+        for k in cfg.fault_counts:
+            n_sets = _comb(len(pairs), k)
+            exact = n_sets <= cfg.exhaustive_limit
+            if exact:
+                fault_sets = [list(fs) for fs in combinations(pairs, k)]
+            else:
+                fault_sets = [
+                    [pairs[i] for i in rng.choice(len(pairs), k, replace=False)]
+                    for _ in range(cfg.mc_trials)
+                ]
+            ident = np.mean(
+                [
+                    sequential_identification(n_qubits, set(fs))
+                    for fs in fault_sets
+                ]
+            )
+            unique = np.mean([_unique_union(n_qubits, fs) for fs in fault_sets])
+            cells.append(
+                Table2Cell(
+                    n_qubits=n_qubits,
+                    k_faults=k,
+                    p_identify=float(ident),
+                    p_unique_union=float(unique),
+                    exact=exact,
+                    paper_value=PAPER_TABLE_II.get((n_qubits, k)),
+                )
+            )
+    return cells
+
+
+def _comb(n: int, k: int) -> int:
+    import math
+
+    return math.comb(n, k)

@@ -1,0 +1,255 @@
+"""The multi-fault diagnosis loop of Fig. 5 (Sec. V-C).
+
+The key principle: *separate faults in time and magnitude before trying to
+diagnose them; diagnosed faults are separated by qubit couplings.*
+
+Loop structure (one iteration per diagnosed fault):
+
+1. **Canary** — a single test exercising every relevant coupling at the
+   highest repetition count.  Passing ends the session (no faults above
+   the smallest detectable magnitude).
+2. **Magnitude search** — a non-adaptive batch of the same all-couplings
+   test at R different repetition counts; the smallest failing count
+   becomes the working amplification, so only the largest fault(s) sit
+   above threshold (adaptation #1).
+3. **Single-fault protocol** at that repetition count: 2n class tests,
+   adaptation #2, the equal-bits tests, adaptation #3, verification.
+4. **Separation by couplings** — the diagnosed pair is recalibrated (via
+   callback) and removed from the relevant set (Corollary V.12);
+   adaptation #4 restarts the loop.
+
+Cost: ``4k + 1`` adaptations for ``k`` faults (the ``+1`` is the final
+canary-passes conclusion) and ``k * (3n + R)`` circuit executions of
+``s`` shots each — both tracked and compared against Sec. V-C's formulas
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .combinatorics import all_couplings, bit, class_pairs, num_bits
+from .protocol import TestExecutor, TestResult
+from .single_fault import SingleFaultDiagnosis, SingleFaultProtocol
+from .tests_builder import TestSpec
+
+__all__ = ["MagnitudeSearchConfig", "MultiFaultReport", "MultiFaultProtocol"]
+
+Pair = frozenset[int]
+
+
+def _equal_bits_specs(
+    n_qubits: int, relevant: set[Pair], repetitions: int
+) -> list[TestSpec]:
+    """Equal/unequal-bits tests over all positions (battery coverage).
+
+    Class tests alone are blind to bit-complementary pairs (Lemma V.1);
+    the battery canary adds both ``[j, =]`` and ``[j, !=]`` tests so every
+    complementary pair sits wholly inside at least one batch test
+    (Lemma V.5 guarantees one of the two per position).
+    """
+    n = num_bits(n_qubits)
+    specs = []
+    for j in range(1, n):
+        for want_equal, tag in ((True, "="), (False, "!=")):
+            members = [
+                q
+                for q in range(n_qubits)
+                if (bit(q, j - 1) == bit(q, j)) == want_equal
+            ]
+            pairs = class_pairs(members, relevant)
+            specs.append(
+                TestSpec(
+                    name=f"canary-bits[{j},{tag}]",
+                    pairs=tuple(pairs),
+                    repetitions=repetitions,
+                    kind="equal-bits",
+                    metadata=(("j", j), ("equal", want_equal), ("role", "canary")),
+                )
+            )
+    return specs
+
+
+@dataclass(frozen=True)
+class MagnitudeSearchConfig:
+    """Repetition counts checked by the non-adaptive magnitude search.
+
+    ``repetition_configs`` must be ascending; the last entry doubles as
+    the canary's amplification.
+    """
+
+    repetition_configs: tuple[int, ...] = (2, 4, 8, 16)
+
+    def __post_init__(self) -> None:
+        if not self.repetition_configs:
+            raise ValueError("need at least one repetition configuration")
+        if list(self.repetition_configs) != sorted(set(self.repetition_configs)):
+            raise ValueError("repetition configs must be ascending and unique")
+        for r in self.repetition_configs:
+            if r < 2 or r % 2:
+                raise ValueError("repetition counts must be even and >= 2")
+
+    @property
+    def canary_repetitions(self) -> int:
+        return self.repetition_configs[-1]
+
+    @property
+    def r_count(self) -> int:
+        """R in the paper's cost formula ks(3n + R)."""
+        return len(self.repetition_configs)
+
+
+@dataclass(frozen=True)
+class MultiFaultReport:
+    """Result of a full Fig. 5 diagnosis session."""
+
+    identified: tuple[Pair, ...]
+    diagnoses: tuple[SingleFaultDiagnosis, ...]
+    iterations: int
+    completed: bool
+    adaptations: int
+    circuit_runs: int
+
+    def identified_sorted(self) -> list[tuple[int, int]]:
+        return [tuple(sorted(p)) for p in self.identified]
+
+
+@dataclass
+class MultiFaultProtocol:
+    """Drives the Fig. 5 loop against an executor.
+
+    Parameters
+    ----------
+    n_qubits:
+        Machine size.
+    relevant:
+        Couplings under test (defaults to all pairs).
+    magnitude:
+        Repetition schedule for canary + magnitude search.
+    recalibrate:
+        Callback invoked with each diagnosed pair (typically the machine's
+        ``recalibrate``); ``None`` means detection-only (map-around mode,
+        Sec. VIII).
+    max_faults:
+        Iteration safety bound.
+    """
+
+    n_qubits: int
+    relevant: set[Pair] | None = None
+    magnitude: MagnitudeSearchConfig = field(default_factory=MagnitudeSearchConfig)
+    recalibrate: Callable[[Pair], None] | None = None
+    max_faults: int = 16
+    #: "single": one all-couplings canary circuit per repetition count
+    #: (Fig. 5 as drawn; fine up to ~16 qubits).  "battery": the 2n-class
+    #: non-adaptive battery doubles as the canary (any failing test signals
+    #: a fault) — required at larger N, where a single circuit exercising
+    #: all C(N,2) couplings has no usable baseline fidelity under 10 %
+    #: amplitude noise.  "auto" picks by machine size.
+    canary_style: str = "auto"
+
+    def __post_init__(self) -> None:
+        self.n_bits = num_bits(self.n_qubits)
+        if self.relevant is None:
+            self.relevant = set(all_couplings(self.n_qubits))
+        if self.canary_style not in ("single", "battery", "auto"):
+            raise ValueError(f"unknown canary style {self.canary_style!r}")
+        if self.canary_style == "auto":
+            self.canary_style = "single" if self.n_qubits <= 16 else "battery"
+
+    # -- building blocks ---------------------------------------------------------
+
+    def canary_spec(self, relevant: set[Pair], repetitions: int) -> TestSpec:
+        """One test exercising every relevant coupling."""
+        return TestSpec(
+            name=f"canary(r={repetitions})",
+            pairs=tuple(sorted(relevant, key=sorted)),
+            repetitions=repetitions,
+            kind="canary",
+            metadata=(("repetitions", repetitions),),
+        )
+
+    def magnitude_search(
+        self, executor: TestExecutor, relevant: set[Pair]
+    ) -> tuple[int | None, list[TestResult]]:
+        """Non-adaptive batch over R repetition counts.
+
+        Returns the smallest repetition count at which a fault is
+        detectable (``None`` when everything passes), plus raw results.
+        In ``single`` style each repetition count costs one all-couplings
+        circuit; in ``battery`` style it costs the 2n-class battery and a
+        fault is signalled by any failing class test.
+        """
+        results: list[TestResult] = []
+        chosen: int | None = None
+        for r in self.magnitude.repetition_configs:
+            if self.canary_style == "single":
+                batch = [self.canary_spec(relevant, r)]
+            else:
+                protocol = SingleFaultProtocol(
+                    self.n_qubits, relevant=relevant, repetitions=r
+                )
+                batch = protocol.round1_specs() + _equal_bits_specs(
+                    self.n_qubits, relevant, r
+                )
+            batch_results = executor.execute_batch(batch)
+            results.extend(batch_results)
+            if chosen is None and any(res.failed for res in batch_results):
+                chosen = r
+        return chosen, results
+
+    # -- the loop -------------------------------------------------------------------
+
+    def diagnose_all(self, executor: TestExecutor) -> MultiFaultReport:
+        """Run the Fig. 5 loop to completion."""
+        relevant = set(self.relevant)
+        identified: list[Pair] = []
+        diagnoses: list[SingleFaultDiagnosis] = []
+        iterations = 0
+        completed = False
+        while iterations < self.max_faults:
+            iterations += 1
+            if not relevant:
+                completed = True
+                executor.cost.record_adaptation("no couplings left")
+                break
+            repetitions, _ = self.magnitude_search(executor, relevant)
+            executor.cost.record_adaptation("magnitude search decision")
+            if repetitions is None:
+                completed = True
+                break
+            # Fig. 5's feedback arrow: if diagnosis at the least-detecting
+            # amplification fails (marginal fault, partial syndrome),
+            # increase gate repetitions and retry.
+            diagnosis = None
+            configs = self.magnitude.repetition_configs
+            for attempt, r in enumerate(
+                [c for c in configs if c >= repetitions]
+            ):
+                if attempt:
+                    executor.cost.record_adaptation("increase gate repetitions")
+                protocol = SingleFaultProtocol(
+                    self.n_qubits, relevant=relevant, repetitions=r
+                )
+                diagnosis = protocol.diagnose(executor, verify=True)
+                diagnoses.append(diagnosis)
+                if diagnosis.identified is not None:
+                    break
+            if diagnosis is None or diagnosis.identified is None:
+                # Identification failed at every amplification: stop
+                # rather than recalibrate a healthy coupling.
+                break
+            pair = diagnosis.identified
+            identified.append(pair)
+            if self.recalibrate is not None:
+                self.recalibrate(pair)
+            relevant.discard(pair)
+            executor.cost.record_adaptation("recalibrate and restart")
+        return MultiFaultReport(
+            identified=tuple(identified),
+            diagnoses=tuple(diagnoses),
+            iterations=iterations,
+            completed=completed,
+            adaptations=executor.cost.adaptations,
+            circuit_runs=executor.cost.circuit_runs,
+        )

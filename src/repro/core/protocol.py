@@ -1,0 +1,160 @@
+"""Shared protocol infrastructure: execution, thresholds, outcomes.
+
+The fault-testing protocols are expressed against a tiny backend surface —
+anything with ``run_match(circuit, expected, shots)`` — so they run
+unchanged on the virtual trap, on a noiseless simulator adapter, or (in
+principle) on real hardware.  :class:`TestExecutor` turns a
+:class:`~repro.core.tests_builder.TestSpec` into a pass/fail
+:class:`TestResult` by comparing the measured target-state fidelity to a
+threshold policy (Figs. 6/7 use fixed thresholds; the multi-fault loop of
+Fig. 5 adjusts thresholds to maximize fault/no-fault contrast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol as TypingProtocol
+
+from ..sim.circuit import Circuit
+from ..sim.sampling import Counts, match_fraction
+from .cost import CostTracker
+from .tests_builder import TestSpec, build_test_circuit, expected_output
+
+__all__ = [
+    "MatchBackend",
+    "ThresholdPolicy",
+    "FixedThresholds",
+    "TestResult",
+    "TestExecutor",
+    "DiagnosisReport",
+]
+
+Pair = frozenset[int]
+
+
+class MatchBackend(TypingProtocol):
+    """Minimal machine surface the protocols need."""
+
+    n_qubits: int
+
+    def run_match(
+        self, circuit: Circuit, expected: int, shots: int
+    ) -> Counts:  # pragma: no cover - protocol definition
+        ...
+
+
+class ThresholdPolicy(TypingProtocol):
+    """Maps a test's repetition count (and role) to its fidelity threshold."""
+
+    def threshold_for(
+        self, repetitions: int, kind: str = "class"
+    ) -> float:  # pragma: no cover - protocol definition
+        ...
+
+
+@dataclass(frozen=True)
+class FixedThresholds:
+    """Fixed per-repetition-count thresholds, e.g. Fig. 6's 0.45 / 0.25.
+
+    ``default`` applies to repetition counts without an explicit entry.
+    Canary tests exercise every relevant coupling at once, so their
+    baseline fidelity is lower; ``canary_margin`` scales their threshold.
+    """
+
+    by_repetitions: tuple[tuple[int, float], ...] = ((2, 0.45), (4, 0.25))
+    default: float = 0.5
+    canary_margin: float = 1.0
+
+    def threshold_for(self, repetitions: int, kind: str = "class") -> float:
+        threshold = self.default
+        for reps, value in self.by_repetitions:
+            if reps == repetitions:
+                threshold = value
+                break
+        if kind == "canary":
+            threshold *= self.canary_margin
+        return threshold
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one executed test."""
+
+    spec: TestSpec
+    fidelity: float
+    threshold: float
+    shots: int
+
+    @property
+    def failed(self) -> bool:
+        """A *failing* test signals a fault among its couplings."""
+        return self.fidelity < self.threshold
+
+    @property
+    def passed(self) -> bool:
+        return not self.failed
+
+
+@dataclass
+class TestExecutor:
+    """Runs test specs on a backend and applies the threshold policy.
+
+    Parameters
+    ----------
+    machine:
+        The backend (usually a :class:`~repro.trap.machine.VirtualIonTrap`).
+    thresholds:
+        Pass/fail policy.
+    shots:
+        Shots per test circuit (the paper uses 300-1000).
+    cost:
+        Optional cost tracker shared across a diagnosis session.
+    """
+
+    machine: MatchBackend
+    thresholds: ThresholdPolicy = field(default_factory=FixedThresholds)
+    shots: int = 300
+    cost: CostTracker = field(default_factory=CostTracker)
+
+    def execute(self, spec: TestSpec) -> TestResult:
+        """Build, run and judge one test."""
+        n = self.machine.n_qubits
+        threshold = self.thresholds.threshold_for(spec.repetitions, spec.kind)
+        if not spec.pairs:
+            # An empty test (all couplings excluded) trivially passes.
+            return TestResult(
+                spec=spec, fidelity=1.0, threshold=threshold, shots=self.shots
+            )
+        circuit = build_test_circuit(spec, n)
+        expected = expected_output(spec, n)
+        counts = self.machine.run_match(circuit, expected, self.shots)
+        fidelity = match_fraction(counts, expected)
+        self.cost.record_run(spec, self.shots)
+        return TestResult(
+            spec=spec, fidelity=fidelity, threshold=threshold, shots=self.shots
+        )
+
+    def execute_batch(self, specs: list[TestSpec]) -> list[TestResult]:
+        """Run a predetermined batch (no adaptation between tests)."""
+        return [self.execute(spec) for spec in specs]
+
+
+@dataclass
+class DiagnosisReport:
+    """What a diagnosis session concluded and what it cost."""
+
+    identified: list[Pair]
+    results: list[TestResult]
+    adaptations: int
+    circuit_runs: int
+    shots: int
+
+    def summary(self) -> str:
+        found = (
+            ", ".join("{%d,%d}" % tuple(sorted(p)) for p in self.identified)
+            or "none"
+        )
+        return (
+            f"faulty couplings: {found} | adaptations: {self.adaptations} | "
+            f"circuit runs: {self.circuit_runs} | shots: {self.shots}"
+        )

@@ -1,0 +1,29 @@
+"""Noise and error models for the virtual ion trap.
+
+* :mod:`repro.noise.models` — gate-level noise (amplitude, phase, residual
+  motional coupling) combined into :class:`GateNoiseModel`.
+* :mod:`repro.noise.one_over_f` — 1/f (flicker) noise synthesis.
+* :mod:`repro.noise.spam` — readout errors and their post-processing
+  correction.
+* :mod:`repro.noise.drift` — calibration drift of couplings over time.
+* :mod:`repro.noise.distributions` — the composite under-rotation
+  distribution of Fig. 9.
+"""
+
+from .distributions import CompositeUnderRotationDistribution
+from .drift import CalibrationDriftProcess, DriftParameters
+from .models import GateNoiseModel, NoiseParameters
+from .one_over_f import OneOverFProcess, estimate_psd_exponent, one_over_f_series
+from .spam import SpamModel
+
+__all__ = [
+    "CompositeUnderRotationDistribution",
+    "CalibrationDriftProcess",
+    "DriftParameters",
+    "GateNoiseModel",
+    "NoiseParameters",
+    "OneOverFProcess",
+    "estimate_psd_exponent",
+    "one_over_f_series",
+    "SpamModel",
+]

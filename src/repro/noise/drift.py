@@ -1,0 +1,120 @@
+"""Calibration-drift processes for qubit couplings.
+
+Fig. 7 calibrates every coupling, idles the machine for 15 minutes, and
+finds a few couplings badly under-rotated (>= 10 %) while the majority stay
+within the +-6 % band (panel C).  We model each coupling's under-rotation
+as a reflected random walk whose per-coupling volatility is drawn from a
+heavy-tailed mixture: most couplings drift slowly, a small fraction are
+"fast drifters" (e.g. couplings sensitive to a charging electrode or beam
+pointing drift).  This reproduces the observed end-state: a compact bulk
+plus outliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DriftParameters", "CalibrationDriftProcess"]
+
+Pair = frozenset[int]
+
+
+@dataclass(frozen=True)
+class DriftParameters:
+    """Volatility mixture for per-coupling drift.
+
+    Attributes
+    ----------
+    slow_volatility:
+        Under-rotation standard deviation accumulated per sqrt(second) by
+        ordinary couplings.
+    fast_volatility:
+        Same for the fast-drifting minority.
+    fast_fraction:
+        Probability that a coupling is a fast drifter.
+    """
+
+    slow_volatility: float = 8e-4
+    fast_volatility: float = 6e-3
+    fast_fraction: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.slow_volatility < 0 or self.fast_volatility < 0:
+            raise ValueError("volatilities must be non-negative")
+        if not 0.0 <= self.fast_fraction <= 1.0:
+            raise ValueError("fast_fraction must be in [0, 1]")
+
+
+class CalibrationDriftProcess:
+    """Evolves per-coupling under-rotations over wall-clock time.
+
+    Under-rotations start at zero (freshly calibrated) and follow a
+    reflected Gaussian random walk; reflection at zero keeps the magnitude
+    interpretation (|XX angle error| as a fraction of pi/2).
+
+    Parameters
+    ----------
+    pairs:
+        The couplings under calibration.
+    params:
+        Volatility mixture.
+    rng:
+        Random generator (also assigns each coupling its volatility).
+    """
+
+    def __init__(
+        self,
+        pairs: list[Pair],
+        rng: np.random.Generator,
+        params: DriftParameters | None = None,
+    ):
+        if not pairs:
+            raise ValueError("need at least one coupling")
+        self.params = params or DriftParameters()
+        self.rng = rng
+        self.pairs = list(pairs)
+        fast = rng.random(len(self.pairs)) < self.params.fast_fraction
+        self.volatility = np.where(
+            fast, self.params.fast_volatility, self.params.slow_volatility
+        )
+        self.under_rotation = np.zeros(len(self.pairs))
+        self.elapsed = 0.0
+
+    def recalibrate(self, pair: Pair | None = None) -> None:
+        """Zero the under-rotation of one pair (or all pairs)."""
+        if pair is None:
+            self.under_rotation[:] = 0.0
+        else:
+            self.under_rotation[self._index(pair)] = 0.0
+
+    def evolve(self, seconds: float) -> None:
+        """Advance the drift process by ``seconds`` of idle time."""
+        if seconds < 0:
+            raise ValueError("time must move forward")
+        if seconds == 0:
+            return
+        step = self.volatility * np.sqrt(seconds)
+        self.under_rotation = np.abs(
+            self.under_rotation + self.rng.normal(0.0, 1.0, len(self.pairs)) * step
+        )
+        self.elapsed += seconds
+
+    def snapshot(self) -> dict[Pair, float]:
+        """Current under-rotation per coupling (Fig. 7C's scatter)."""
+        return {p: float(u) for p, u in zip(self.pairs, self.under_rotation)}
+
+    def outliers(self, threshold: float = 0.10) -> list[Pair]:
+        """Couplings whose under-rotation exceeds ``threshold``."""
+        return [
+            p
+            for p, u in zip(self.pairs, self.under_rotation)
+            if u > threshold
+        ]
+
+    def _index(self, pair: Pair) -> int:
+        try:
+            return self.pairs.index(pair)
+        except ValueError:
+            raise KeyError(f"unknown coupling {set(pair)}") from None

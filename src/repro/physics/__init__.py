@@ -1,0 +1,39 @@
+"""Ion-trap physics substrate.
+
+* :mod:`repro.physics.ion_chain` — chain equilibrium and transverse modes.
+* :mod:`repro.physics.lamb_dicke` — Lamb-Dicke couplings and Eq. (1).
+* :mod:`repro.physics.ms_pulse` — MS pulse model, residual displacements,
+  and mode-closure pulse design.
+* :mod:`repro.physics.fidelity` — Eq. (2) parity-contrast fidelity
+  estimation.
+"""
+
+from .fidelity import (
+    FidelityEstimate,
+    estimate_ms_fidelity,
+    fit_parity_contrast,
+    parity_circuit,
+    parity_from_counts,
+    population_circuit,
+)
+from .ion_chain import TransverseModes, equilibrium_positions, transverse_modes
+from .lamb_dicke import ChainSpec, equation_one_fidelity, lamb_dicke_parameters
+from .ms_pulse import SegmentedPulse, entangling_angle, solve_mode_closure
+
+__all__ = [
+    "FidelityEstimate",
+    "estimate_ms_fidelity",
+    "fit_parity_contrast",
+    "parity_circuit",
+    "parity_from_counts",
+    "population_circuit",
+    "TransverseModes",
+    "equilibrium_positions",
+    "transverse_modes",
+    "ChainSpec",
+    "equation_one_fidelity",
+    "lamb_dicke_parameters",
+    "SegmentedPulse",
+    "entangling_angle",
+    "solve_mode_closure",
+]

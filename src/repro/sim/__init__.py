@@ -1,0 +1,27 @@
+"""Quantum-simulation substrate: gates, circuits, and two engines.
+
+* :mod:`repro.sim.gates` — native ion-trap gate matrices (Fig. 4).
+* :mod:`repro.sim.circuit` — circuit IR with structural queries.
+* :mod:`repro.sim.statevector` — dense reference simulator (<= 22 qubits).
+* :mod:`repro.sim.xx_engine` — exact fast engine for commuting-XX test
+  circuits, enabling the paper's 32-qubit scaling studies.
+* :mod:`repro.sim.sampling` — measurement counts utilities.
+"""
+
+from .circuit import Circuit, Operation
+from .sampling import Counts, match_fraction, sample_bernoulli_counts
+from .statevector import MAX_DENSE_QUBITS, StatevectorSimulator, simulate, zero_state
+from .xx_engine import XXCircuitEvaluator
+
+__all__ = [
+    "Circuit",
+    "Operation",
+    "Counts",
+    "match_fraction",
+    "sample_bernoulli_counts",
+    "StatevectorSimulator",
+    "simulate",
+    "zero_state",
+    "MAX_DENSE_QUBITS",
+    "XXCircuitEvaluator",
+]

@@ -1,0 +1,234 @@
+"""Quantum gate library for the ion-trap simulator.
+
+All matrices follow the conventions of the paper (Sec. II-A and Fig. 4):
+
+* ``R(theta, phi)`` — the general native one-qubit gate, a rotation by
+  ``theta`` about the Bloch-sphere axis ``cos(phi) X + sin(phi) Y``.
+* ``M(theta, phi1, phi2)`` — the general native two-qubit Molmer-Sorensen
+  (MS) gate.  ``M(theta, 0, 0)`` equals ``XX(theta) = exp(-i theta XX / 2)``.
+
+Gates are returned as dense ``numpy`` arrays of ``complex128``.  Helper
+predicates (``is_unitary``) and algebraic utilities (``kron_n``,
+``gate_on_qubits``) support testing and reference computations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "P",
+    "S",
+    "T",
+    "rx",
+    "ry",
+    "rz",
+    "r_gate",
+    "phase_axis",
+    "xx",
+    "ms_gate",
+    "cnot",
+    "cz",
+    "swap",
+    "controlled",
+    "is_unitary",
+    "kron_n",
+    "gate_on_qubits",
+    "global_phase_aligned",
+    "allclose_up_to_phase",
+]
+
+# ---------------------------------------------------------------------------
+# Fixed one-qubit gates (Sec. II-A).
+# ---------------------------------------------------------------------------
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
+Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+H = np.array([[1.0, 1.0], [1.0, -1.0]], dtype=complex) / math.sqrt(2.0)
+P = np.array([[1.0, 0.0], [0.0, 1.0j]], dtype=complex)
+S = P
+T = np.array([[1.0, 0.0], [0.0, np.exp(0.25j * np.pi)]], dtype=complex)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation ``exp(-i theta X / 2)`` about the Pauli-X axis."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1.0j * s], [-1.0j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation ``exp(-i theta Y / 2)`` about the Pauli-Y axis."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation ``exp(-i theta Z / 2)`` about the Pauli-Z axis."""
+    return np.array(
+        [[np.exp(-0.5j * theta), 0.0], [0.0, np.exp(0.5j * theta)]], dtype=complex
+    )
+
+
+def phase_axis(phi: float) -> np.ndarray:
+    """The Pauli axis ``cos(phi) X + sin(phi) Y`` used by native gates."""
+    return math.cos(phi) * X + math.sin(phi) * Y
+
+
+def r_gate(theta: float, phi: float) -> np.ndarray:
+    """General native one-qubit gate ``R(theta, phi)`` from Fig. 4.
+
+    ``R(theta, phi) = exp(-i theta (cos(phi) X + sin(phi) Y) / 2)``; the
+    matrix form matches the paper exactly::
+
+        [[cos(t/2),              -i e^{-i phi} sin(t/2)],
+         [-i e^{i phi} sin(t/2),  cos(t/2)]]
+    """
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -1.0j * np.exp(-1.0j * phi) * s],
+            [-1.0j * np.exp(1.0j * phi) * s, c],
+        ],
+        dtype=complex,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit gates.
+# ---------------------------------------------------------------------------
+
+
+def xx(theta: float) -> np.ndarray:
+    """The Molmer-Sorensen interaction ``XX(theta) = exp(-i theta XX / 2)``."""
+    return ms_gate(theta, 0.0, 0.0)
+
+
+def ms_gate(theta: float, phi1: float, phi2: float) -> np.ndarray:
+    """General two-qubit MS gate ``M(theta, phi1, phi2)`` from Fig. 4.
+
+    ``phi1`` and ``phi2`` are the drive phases on the two ions; nonzero
+    phases rotate the interaction axis away from pure XX.  The matrix is
+    written in the computational basis ``|00>, |01>, |10>, |11>``.
+    """
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    e_pp = np.exp(-1.0j * (phi1 + phi2))
+    e_pm = np.exp(-1.0j * (phi1 - phi2))
+    m = np.zeros((4, 4), dtype=complex)
+    m[0, 0] = c
+    m[0, 3] = -1.0j * e_pp * s
+    m[1, 1] = c
+    m[1, 2] = -1.0j * e_pm * s
+    m[2, 1] = -1.0j * np.conj(e_pm) * s
+    m[2, 2] = c
+    m[3, 0] = -1.0j * np.conj(e_pp) * s
+    m[3, 3] = c
+    return m
+
+
+def cnot() -> np.ndarray:
+    """Controlled-NOT with qubit 0 (most-significant) as control."""
+    m = np.eye(4, dtype=complex)
+    m[[2, 3]] = m[[3, 2]]
+    return m
+
+
+def cz() -> np.ndarray:
+    """Controlled-Z gate (symmetric under qubit exchange)."""
+    return np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+
+
+def swap() -> np.ndarray:
+    """SWAP gate exchanging two qubits."""
+    m = np.eye(4, dtype=complex)
+    m[[1, 2]] = m[[2, 1]]
+    return m
+
+
+def controlled(u: np.ndarray) -> np.ndarray:
+    """Two-qubit controlled-``u`` with qubit 0 as control."""
+    m = np.eye(4, dtype=complex)
+    m[2:, 2:] = u
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Utilities.
+# ---------------------------------------------------------------------------
+
+
+def is_unitary(u: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return True iff ``u`` is unitary within ``atol``."""
+    u = np.asarray(u)
+    if u.ndim != 2 or u.shape[0] != u.shape[1]:
+        return False
+    return np.allclose(u @ u.conj().T, np.eye(u.shape[0]), atol=atol)
+
+
+def kron_n(*mats: np.ndarray) -> np.ndarray:
+    """Kronecker product of the given matrices, left-to-right."""
+    out = np.array([[1.0 + 0.0j]])
+    for m in mats:
+        out = np.kron(out, m)
+    return out
+
+
+def gate_on_qubits(
+    u: np.ndarray, qubits: tuple[int, ...], n_qubits: int
+) -> np.ndarray:
+    """Embed gate ``u`` acting on ``qubits`` into an ``n_qubits`` operator.
+
+    Qubit 0 is the most-significant bit of the basis index, matching the
+    statevector simulator's convention.  This builds a dense 2^n x 2^n
+    matrix and is intended for reference computations in tests, not for
+    production simulation.
+    """
+    k = len(qubits)
+    if u.shape != (2**k, 2**k):
+        raise ValueError(f"gate shape {u.shape} does not act on {k} qubits")
+    if len(set(qubits)) != k:
+        raise ValueError("duplicate qubits in gate application")
+    if any(q < 0 or q >= n_qubits for q in qubits):
+        raise ValueError("qubit index out of range")
+
+    dim = 2**n_qubits
+    out = np.zeros((dim, dim), dtype=complex)
+    rest = [q for q in range(n_qubits) if q not in qubits]
+    for col in range(dim):
+        col_bits = [(col >> (n_qubits - 1 - q)) & 1 for q in range(n_qubits)]
+        sub_col = 0
+        for q in qubits:
+            sub_col = (sub_col << 1) | col_bits[q]
+        for sub_row in range(2**k):
+            amp = u[sub_row, sub_col]
+            if amp == 0.0:
+                continue
+            row_bits = list(col_bits)
+            for idx, q in enumerate(qubits):
+                row_bits[q] = (sub_row >> (k - 1 - idx)) & 1
+            row = 0
+            for b in row_bits:
+                row = (row << 1) | b
+            out[row, col] += amp
+    return out
+
+
+def global_phase_aligned(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Return ``u`` rescaled by a global phase to best match ``v``."""
+    inner = np.vdot(v, u)
+    if abs(inner) < 1e-14:
+        return u
+    return u * (np.conj(inner) / abs(inner))
+
+
+def allclose_up_to_phase(u: np.ndarray, v: np.ndarray, atol: float = 1e-9) -> bool:
+    """True iff ``u == e^{i phase} v`` for some global phase."""
+    return np.allclose(global_phase_aligned(u, v), v, atol=atol)

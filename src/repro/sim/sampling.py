@@ -1,0 +1,119 @@
+"""Measurement sampling and counts post-processing.
+
+The machine returns measurement results as ``{bitstring_int: count}`` maps
+(`Counts`).  This module provides the small algebra the protocols need on
+top of them: match fractions against an expected output, marginals,
+conversions, and Bernoulli shot sampling when only a scalar pass
+probability is known (the fast XX engine computes the probability of the
+expected bitstring directly, so full distributions are unnecessary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Counts",
+    "total_shots",
+    "counts_to_probs",
+    "match_fraction",
+    "sample_bernoulli_counts",
+    "marginal_counts",
+    "bitstring_str",
+    "bitstring_from_str",
+    "hamming_weight",
+    "merge_counts",
+]
+
+#: Measurement results: basis-state integer -> number of shots observed.
+Counts = dict[int, int]
+
+
+def total_shots(counts: Counts) -> int:
+    """Total number of shots recorded in ``counts``."""
+    return sum(counts.values())
+
+
+def counts_to_probs(counts: Counts) -> dict[int, float]:
+    """Normalize counts into empirical probabilities."""
+    n = total_shots(counts)
+    if n == 0:
+        raise ValueError("empty counts")
+    return {k: v / n for k, v in counts.items()}
+
+
+def match_fraction(counts: Counts, expected: int) -> float:
+    """Fraction of shots that returned the ``expected`` bitstring.
+
+    This is the measured *target-state fidelity* of a single-output test
+    (Sec. VI): the test passes when the fraction stays above threshold.
+    """
+    n = total_shots(counts)
+    if n == 0:
+        raise ValueError("empty counts")
+    return counts.get(expected, 0) / n
+
+
+def sample_bernoulli_counts(
+    p_match: float,
+    expected: int,
+    shots: int,
+    rng: np.random.Generator,
+    mismatch_state: int | None = None,
+) -> Counts:
+    """Sample counts when only the expected-state probability is known.
+
+    Draws ``Binomial(shots, p_match)`` matches; all non-matching shots are
+    lumped into ``mismatch_state`` (default: ``expected ^ 1``, an arbitrary
+    distinct state).  Sufficient for pass/fail statistics, which only look
+    at the expected bitstring's fraction.
+    """
+    if not 0.0 <= p_match <= 1.0 + 1e-9:
+        raise ValueError(f"p_match={p_match} outside [0, 1]")
+    p_match = min(p_match, 1.0)
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    matches = int(rng.binomial(shots, p_match))
+    counts: Counts = {}
+    if matches:
+        counts[expected] = matches
+    if matches < shots:
+        other = mismatch_state if mismatch_state is not None else expected ^ 1
+        counts[other] = counts.get(other, 0) + (shots - matches)
+    return counts
+
+
+def marginal_counts(counts: Counts, qubits: list[int], n_qubits: int) -> Counts:
+    """Marginalize counts onto a subset of qubits (qubit 0 = MSB)."""
+    out: Counts = {}
+    for bitstring, c in counts.items():
+        sub = 0
+        for q in qubits:
+            bit = (bitstring >> (n_qubits - 1 - q)) & 1
+            sub = (sub << 1) | bit
+        out[sub] = out.get(sub, 0) + c
+    return out
+
+
+def bitstring_str(bitstring: int, n_qubits: int) -> str:
+    """Render a basis-state integer as a ``'0101...'`` string (q0 first)."""
+    return format(bitstring, f"0{n_qubits}b")
+
+
+def bitstring_from_str(s: str) -> int:
+    """Parse a ``'0101...'`` string back into a basis-state integer."""
+    return int(s, 2)
+
+
+def hamming_weight(bitstring: int) -> int:
+    """Number of ones in the bitstring (population of |1> outcomes)."""
+    return bin(bitstring).count("1")
+
+
+def merge_counts(*count_maps: Counts) -> Counts:
+    """Sum several counts maps (e.g. repeated runs of the same circuit)."""
+    out: Counts = {}
+    for counts in count_maps:
+        for k, v in counts.items():
+            out[k] = out.get(k, 0) + v
+    return out

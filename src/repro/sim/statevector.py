@@ -1,0 +1,124 @@
+"""Dense statevector simulator.
+
+Simulates circuits on up to ~22 qubits by direct state evolution.  This is
+the reference engine: it handles arbitrary gates, including the non-XX
+operations produced by phase-noise and residual-coupling error models.  The
+paper's physical-scale experiments (8 and 11 qubits, Figs. 3/6/7) run here;
+the 16- and 32-qubit scaling studies use :mod:`repro.sim.xx_engine`.
+
+Conventions
+-----------
+Qubit 0 is the most-significant bit of the computational-basis index, so
+``|q0 q1 ... q_{n-1}>`` maps to integer ``q0*2^{n-1} + ... + q_{n-1}``.
+Bitstrings returned by measurement use the same ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuit import Circuit
+
+__all__ = ["StatevectorSimulator", "zero_state", "simulate", "MAX_DENSE_QUBITS"]
+
+#: Hard cap for dense simulation (2^22 amplitudes = 64 MiB of complex128).
+MAX_DENSE_QUBITS = 22
+
+
+def zero_state(n_qubits: int) -> np.ndarray:
+    """The all-zeros state ``|0...0>`` as a flat complex vector."""
+    if n_qubits > MAX_DENSE_QUBITS:
+        raise ValueError(
+            f"{n_qubits} qubits exceeds dense limit of {MAX_DENSE_QUBITS}"
+        )
+    state = np.zeros(2**n_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+class StatevectorSimulator:
+    """Evolves a dense statevector through a :class:`Circuit`.
+
+    Parameters
+    ----------
+    n_qubits:
+        Register width.  The initial state is ``|0...0>``.
+    """
+
+    def __init__(self, n_qubits: int):
+        if n_qubits < 1:
+            raise ValueError("need at least one qubit")
+        if n_qubits > MAX_DENSE_QUBITS:
+            raise ValueError(
+                f"{n_qubits} qubits exceeds dense limit of {MAX_DENSE_QUBITS}"
+            )
+        self.n_qubits = n_qubits
+        self.state = zero_state(n_qubits)
+
+    # -- state evolution -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Re-initialize to ``|0...0>`` (qubit re-initialization)."""
+        self.state = zero_state(self.n_qubits)
+
+    def apply_gate(self, u: np.ndarray, qubits: tuple[int, ...]) -> None:
+        """Apply gate matrix ``u`` to the given qubits in place."""
+        k = len(qubits)
+        if u.shape != (2**k, 2**k):
+            raise ValueError(f"gate shape {u.shape} does not act on {k} qubits")
+        n = self.n_qubits
+        psi = self.state.reshape((2,) * n)
+        # Move the target axes to the front, contract, and move them back.
+        src = list(qubits)
+        psi = np.moveaxis(psi, src, range(k))
+        shape = psi.shape
+        psi = psi.reshape(2**k, -1)
+        psi = u @ psi
+        psi = psi.reshape(shape)
+        psi = np.moveaxis(psi, range(k), src)
+        self.state = np.ascontiguousarray(psi).reshape(-1)
+
+    def run(self, circuit: Circuit) -> np.ndarray:
+        """Apply all operations of ``circuit`` and return the state."""
+        if circuit.n_qubits != self.n_qubits:
+            raise ValueError(
+                f"circuit is on {circuit.n_qubits} qubits, "
+                f"simulator on {self.n_qubits}"
+            )
+        for op in circuit.ops:
+            self.apply_gate(op.matrix(), op.qubits)
+        return self.state
+
+    # -- measurement ----------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities of all 2^n basis states."""
+        return np.abs(self.state) ** 2
+
+    def probability_of(self, bitstring: int) -> float:
+        """Probability of measuring the given basis state (as an integer)."""
+        return float(np.abs(self.state[bitstring]) ** 2)
+
+    def amplitude_of(self, bitstring: int) -> complex:
+        """Amplitude of the given basis state."""
+        return complex(self.state[bitstring])
+
+    def sample(self, shots: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``shots`` measurement outcomes (basis-state integers)."""
+        probs = self.probabilities()
+        # Guard against tiny negative values from floating-point error.
+        probs = np.clip(probs, 0.0, None)
+        probs = probs / probs.sum()
+        return rng.choice(len(probs), size=shots, p=probs)
+
+    def sample_counts(self, shots: int, rng: np.random.Generator) -> dict[int, int]:
+        """Sample and aggregate outcomes into a ``{bitstring: count}`` map."""
+        outcomes = self.sample(shots, rng)
+        values, counts = np.unique(outcomes, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def simulate(circuit: Circuit) -> np.ndarray:
+    """Convenience: run ``circuit`` from ``|0...0>`` and return the state."""
+    sim = StatevectorSimulator(circuit.n_qubits)
+    return sim.run(circuit)

@@ -1,0 +1,103 @@
+"""Per-coupling calibration state of the machine.
+
+Every pair of qubits has its own MS-gate calibration; this registry tracks
+each coupling's current *under-rotation* (fractional amplitude error, the
+dominant deterministic unitary fault of Sec. III).  The drift process of
+:mod:`repro.noise.drift` writes snapshots into it; recalibration zeroes
+individual entries; the protocols read it only through the machine's
+measurement statistics, never directly.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .faults import CouplingFault, Pair
+
+__all__ = ["CalibrationState", "all_pairs"]
+
+
+def all_pairs(n_qubits: int) -> list[Pair]:
+    """All C(N, 2) couplings of an ``n_qubits`` machine, sorted."""
+    return [frozenset(p) for p in combinations(range(n_qubits), 2)]
+
+
+class CalibrationState:
+    """Mutable map from coupling to current under-rotation.
+
+    Parameters
+    ----------
+    n_qubits:
+        Machine size; couplings default to perfectly calibrated (0.0).
+    """
+
+    def __init__(self, n_qubits: int):
+        if n_qubits < 2:
+            raise ValueError("a machine needs at least two qubits")
+        self.n_qubits = n_qubits
+        self._under_rotation: dict[Pair, float] = {
+            p: 0.0 for p in all_pairs(n_qubits)
+        }
+
+    # -- access -----------------------------------------------------------------
+
+    def pairs(self) -> list[Pair]:
+        return sorted(self._under_rotation, key=sorted)
+
+    def under_rotation(self, pair: Pair | tuple[int, int]) -> float:
+        return self._under_rotation[self._key(pair)]
+
+    def set_under_rotation(
+        self, pair: Pair | tuple[int, int], value: float
+    ) -> None:
+        if not -1.0 <= value <= 1.0:
+            raise ValueError("under_rotation outside [-1, 1]")
+        self._under_rotation[self._key(pair)] = value
+
+    def inject_fault(self, fault: CouplingFault) -> None:
+        self.set_under_rotation(fault.pair, fault.under_rotation)
+
+    def load_snapshot(self, snapshot: dict[Pair, float]) -> None:
+        """Overwrite calibration from a drift-process snapshot."""
+        for pair, value in snapshot.items():
+            self.set_under_rotation(pair, value)
+
+    def recalibrate(self, pair: Pair | tuple[int, int] | None = None) -> None:
+        """Zero one coupling's error (or all couplings')."""
+        if pair is None:
+            for key in self._under_rotation:
+                self._under_rotation[key] = 0.0
+        else:
+            self._under_rotation[self._key(pair)] = 0.0
+
+    # -- analysis ----------------------------------------------------------------
+
+    def faulty_pairs(self, threshold: float) -> list[Pair]:
+        """Couplings whose |under-rotation| exceeds ``threshold``."""
+        return sorted(
+            (
+                p
+                for p, u in self._under_rotation.items()
+                if abs(u) > threshold
+            ),
+            key=lambda p: -abs(self._under_rotation[p]),
+        )
+
+    def largest_faults(self, k: int) -> list[CouplingFault]:
+        """The ``k`` worst-calibrated couplings, sorted by magnitude."""
+        ranked = sorted(
+            self._under_rotation.items(), key=lambda item: -abs(item[1])
+        )
+        return [CouplingFault(p, u) for p, u in ranked[:k]]
+
+    def as_array(self) -> np.ndarray:
+        """Under-rotations in ``pairs()`` order (for statistics)."""
+        return np.array([self._under_rotation[p] for p in self.pairs()])
+
+    def _key(self, pair: Pair | tuple[int, int]) -> Pair:
+        key = frozenset(pair)
+        if key not in self._under_rotation:
+            raise KeyError(f"unknown coupling {sorted(key)}")
+        return key

@@ -1,0 +1,165 @@
+"""Fault classification (Table I) and concrete fault specifications.
+
+Table I classifies non-ideal behaviours of an ion-trap QC along two axes —
+**determinism** and **unitarity** — with a third axis for **time scale**.
+The dominant, diagnosable faults in today's machines are deterministic
+unitary ones (Sec. III): calibration errors on gate amplitude and phase.
+:class:`CouplingFault` captures the concrete instance the protocols hunt:
+a deterministic under-rotation of one coupling's MS angle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "Determinism",
+    "Unitarity",
+    "TimeScale",
+    "FaultClass",
+    "TABLE_I",
+    "classify_fault",
+    "CouplingFault",
+]
+
+Pair = frozenset[int]
+
+
+class Determinism(Enum):
+    """Whether the faulty behaviour repeats identically run-to-run."""
+
+    DETERMINISTIC = "deterministic"
+    STOCHASTIC = "stochastic"
+
+
+class Unitarity(Enum):
+    """Whether the faulty evolution remains norm-preserving."""
+
+    UNITARY = "unitary"
+    NON_UNITARY = "non-unitary"
+
+
+class TimeScale(Enum):
+    """Third classification axis: how fast the fault varies.
+
+    Slow noise may look deterministic within one run but not across runs.
+    """
+
+    STATIC = "static"
+    SLOW = "slow"
+    FAST = "fast"
+
+
+@dataclass(frozen=True)
+class FaultClass:
+    """One quadrant of Table I."""
+
+    determinism: Determinism
+    unitarity: Unitarity
+    description: str
+    examples: tuple[str, ...]
+
+
+#: The four quadrants of Table I, verbatim from the paper.
+TABLE_I: dict[tuple[Determinism, Unitarity], FaultClass] = {
+    (Determinism.DETERMINISTIC, Unitarity.UNITARY): FaultClass(
+        Determinism.DETERMINISTIC,
+        Unitarity.UNITARY,
+        "Inexact calibration of beam intensity, usually static in time.",
+        (
+            "light shift miscalibration",
+            "beam misalignment",
+            "wrong gain applied to the illuminating beams",
+        ),
+    ),
+    (Determinism.DETERMINISTIC, Unitarity.NON_UNITARY): FaultClass(
+        Determinism.DETERMINISTIC,
+        Unitarity.NON_UNITARY,
+        "Non-unitary violations of physical models.",
+        (
+            "unintended bit flips induced by vibrational bus excitation",
+            "sidebands",
+            "anharmonicity",
+        ),
+    ),
+    (Determinism.STOCHASTIC, Unitarity.UNITARY): FaultClass(
+        Determinism.STOCHASTIC,
+        Unitarity.UNITARY,
+        "Random parameter fluctuations.",
+        (
+            "heating",
+            "control signal noise in amplitude and frequency",
+        ),
+    ),
+    (Determinism.STOCHASTIC, Unitarity.NON_UNITARY): FaultClass(
+        Determinism.STOCHASTIC,
+        Unitarity.NON_UNITARY,
+        "Catastrophic stochastic events.",
+        (
+            "double ionization event",
+            "loss of order",
+            "chain loss",
+        ),
+    ),
+}
+
+#: Named fault phenomena mapped onto the Table I quadrants (for lookups).
+_PHENOMENA: dict[str, tuple[Determinism, Unitarity]] = {
+    "amplitude miscalibration": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "light shift miscalibration": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "beam misalignment": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "under-rotation": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "bus excitation bit flip": (Determinism.DETERMINISTIC, Unitarity.NON_UNITARY),
+    "sideband error": (Determinism.DETERMINISTIC, Unitarity.NON_UNITARY),
+    "anharmonicity": (Determinism.DETERMINISTIC, Unitarity.NON_UNITARY),
+    "heating": (Determinism.STOCHASTIC, Unitarity.UNITARY),
+    "control noise": (Determinism.STOCHASTIC, Unitarity.UNITARY),
+    "amplitude noise": (Determinism.STOCHASTIC, Unitarity.UNITARY),
+    "phase noise": (Determinism.STOCHASTIC, Unitarity.UNITARY),
+    "double ionization": (Determinism.STOCHASTIC, Unitarity.NON_UNITARY),
+    "chain loss": (Determinism.STOCHASTIC, Unitarity.NON_UNITARY),
+    "loss of order": (Determinism.STOCHASTIC, Unitarity.NON_UNITARY),
+}
+
+
+def classify_fault(phenomenon: str) -> FaultClass:
+    """Look up the Table I quadrant of a named fault phenomenon."""
+    key = phenomenon.strip().lower()
+    if key not in _PHENOMENA:
+        raise KeyError(
+            f"unknown phenomenon {phenomenon!r}; known: {sorted(_PHENOMENA)}"
+        )
+    return TABLE_I[_PHENOMENA[key]]
+
+
+@dataclass(frozen=True)
+class CouplingFault:
+    """A deterministic unitary fault on one qubit coupling.
+
+    Attributes
+    ----------
+    pair:
+        The miscalibrated coupling.
+    under_rotation:
+        Fractional amplitude error: the coupling implements
+        ``XX(theta * (1 - under_rotation))`` instead of ``XX(theta)``.
+        Negative values model over-rotations.
+    """
+
+    pair: Pair
+    under_rotation: float
+
+    def __post_init__(self) -> None:
+        if len(self.pair) != 2:
+            raise ValueError("a coupling joins exactly two qubits")
+        if not -1.0 <= self.under_rotation <= 1.0:
+            raise ValueError("under_rotation outside [-1, 1]")
+
+    @property
+    def fault_class(self) -> FaultClass:
+        return TABLE_I[(Determinism.DETERMINISTIC, Unitarity.UNITARY)]
+
+    def magnitude(self) -> float:
+        """Absolute fractional miscalibration (for magnitude separation)."""
+        return abs(self.under_rotation)

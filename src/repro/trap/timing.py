@@ -1,0 +1,149 @@
+"""Timing model of an ion-trap QC's test operations.
+
+Sec. IV stresses that the runtime of a (shallow) test is dominated by qubit
+initialization and readout, while *adaptive* steps pay for classical
+decision-making and control-pulse recompilation (Sec. VIII, Steps 2-3).
+Fig. 10's speed-up projection assumes the two-qubit gate time scales as
+``1/N^2`` starting from 0.2 ms at 8 qubits (faster gates on bigger future
+machines), with compilation time proportional to the number of couplings.
+
+All durations are in seconds.  Constants default to the values quoted in
+the paper (Secs. II-B, VI, VIII, IX); the Sec. IX cross-check — a full
+11-qubit diagnosis in ~10 s vs. over a minute per-coupling — pins the
+remaining free constants and is asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TimingModel"]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Durations of the primitive machine operations.
+
+    Attributes
+    ----------
+    cooling_time:
+        Laser cooling of the chain before a shot (tens of ms total per
+        paper; per-shot recooling is much shorter on commercial systems).
+    init_time:
+        Optical pumping to |0...0> (~20 us, Sec. II-B).
+    readout_time:
+        State-dependent fluorescence readout (~100 us, Sec. II-B).
+    base_gate_time:
+        Two-qubit gate duration at the reference size (0.2 ms at 8 qubits).
+    reference_qubits:
+        Machine size at which ``base_gate_time`` applies.
+    gate_time_exponent:
+        Gate time scales as ``(reference/N)^exponent`` (Fig. 10 uses 2).
+    point_check_processing:
+        Classical processing + reconfiguration per individual coupling
+        point-check ("over a minute" across an 11-qubit machine, Sec. IX).
+    compile_time_per_coupling:
+        Control-pulse compilation cost per coupling involved in a newly
+        adapted test (Step 3 of Sec. VIII).
+    adaptation_fixed:
+        Fixed classical latency per adaptive round (Step 2 of Sec. VIII).
+    upload_time:
+        One-time upload of a predetermined (non-adaptive) test batch.
+    """
+
+    cooling_time: float = 2.0e-3
+    init_time: float = 20.0e-6
+    readout_time: float = 100.0e-6
+    base_gate_time: float = 0.2e-3
+    reference_qubits: int = 8
+    gate_time_exponent: float = 2.0
+    point_check_processing: float = 1.0
+    compile_time_per_coupling: float = 1.0e-3
+    adaptation_fixed: float = 0.1
+    upload_time: float = 1.0
+
+    def gate_time(self, n_qubits: int) -> float:
+        """Two-qubit gate duration on an ``n_qubits`` machine."""
+        if n_qubits < 1:
+            raise ValueError("need at least one qubit")
+        return self.base_gate_time * (
+            self.reference_qubits / n_qubits
+        ) ** self.gate_time_exponent
+
+    def shot_time(self, n_two_qubit_gates: int, n_qubits: int) -> float:
+        """One shot: cool + initialize + run gates + read out."""
+        return (
+            self.cooling_time
+            + self.init_time
+            + n_two_qubit_gates * self.gate_time(n_qubits)
+            + self.readout_time
+        )
+
+    def circuit_run_time(
+        self, n_two_qubit_gates: int, n_qubits: int, shots: int
+    ) -> float:
+        """Total quantum time of one test circuit measured ``shots`` times."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        return shots * self.shot_time(n_two_qubit_gates, n_qubits)
+
+    def adaptation_time(self, couplings_recompiled: int) -> float:
+        """Classical cost of one adaptive round recompiling some couplings."""
+        if couplings_recompiled < 0:
+            raise ValueError("coupling count must be non-negative")
+        return (
+            self.adaptation_fixed
+            + couplings_recompiled * self.compile_time_per_coupling
+        )
+
+    # -- strategy-level estimates for Fig. 10 -------------------------------------
+
+    def point_check_total(self, n_qubits: int, shots: int, reps: int = 4) -> float:
+        """All-couplings point-check: every pair gets its own test."""
+        n_pairs = math.comb(n_qubits, 2)
+        per_check = self.point_check_processing + self.circuit_run_time(
+            reps, n_qubits, shots
+        )
+        return n_pairs * per_check
+
+    def binary_search_total(self, n_qubits: int, shots: int, reps: int = 4) -> float:
+        """Adaptive binary search for one fault.
+
+        Each of the ~log2 C(N,2) rounds recompiles the couplings of the next
+        test (half of the remaining suspects), so total recompilation is
+        ~C(N,2) couplings; each round also pays the fixed adaptation cost.
+        """
+        n_pairs = math.comb(n_qubits, 2)
+        n_rounds = max(1, math.ceil(math.log2(n_pairs)))
+        compile_total = self.adaptation_time(0) * n_rounds + (
+            n_pairs * self.compile_time_per_coupling
+        )
+        quantum = sum(
+            self.circuit_run_time(
+                reps * max(1, n_pairs >> (round_idx + 1)), n_qubits, shots
+            )
+            for round_idx in range(n_rounds)
+        )
+        return compile_total + quantum
+
+    def non_adaptive_total(
+        self, n_qubits: int, shots: int, reps: int = 4, extra_tests: int = 0
+    ) -> float:
+        """The paper's protocol: 3n-1 predetermined tests, one adaptation.
+
+        ``extra_tests`` accounts for the R repetition configurations of the
+        magnitude search when used inside the multi-fault loop.
+        """
+        n_bits = max(1, math.ceil(math.log2(n_qubits)))
+        n_tests = 3 * n_bits - 1 + extra_tests
+        n_pairs = math.comb(n_qubits, 2)
+        # Every class test applies gates on ~C(N/2, 2) couplings.
+        gates_per_test = reps * math.comb(max(2, n_qubits // 2), 2)
+        quantum = n_tests * self.circuit_run_time(gates_per_test, n_qubits, shots)
+        # One adaptation round (Theorem V.10) over the residual candidates,
+        # plus a single upfront upload of the predetermined batch.
+        classical = self.upload_time + self.adaptation_time(
+            min(n_pairs, n_qubits)
+        )
+        return classical + quantum
