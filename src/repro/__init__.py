@@ -22,7 +22,18 @@ Sub-packages
 * :mod:`repro.physics` -- ion-chain modes, Lamb-Dicke, fidelity formulas.
 * :mod:`repro.trap` -- the virtual machine, calibration, timing, duty cycle.
 * :mod:`repro.circuits` -- application circuits and coupling usage.
-* :mod:`repro.analysis` -- thresholds, reporting, per-figure experiments.
+* :mod:`repro.analysis` -- thresholds, reporting, per-figure experiments,
+  and the unified experiment runner behind ``python -m repro``.
+
+Command line
+------------
+Every paper figure/table is runnable through one CLI::
+
+    python -m repro list
+    python -m repro run fig3 --smoke
+
+See README.md for the experiment table and EXPERIMENTS.md for full-size
+vs ``--smoke`` parameters.
 """
 
 from .core import (
@@ -52,7 +63,7 @@ from .trap import (
     VirtualIonTrap,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveBinarySearch",

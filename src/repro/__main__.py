@@ -1,0 +1,270 @@
+"""``python -m repro``: the command-line face of the reproduction.
+
+Subcommands
+-----------
+``list``
+    Table of registered experiments with their paper anchors.
+``info <name>``
+    Full/smoke config parameters of one experiment.
+``run <names...|all>``
+    Run experiments through the unified runner: ``--smoke``/``--full``
+    presets, ``--jobs N`` multiprocessing fan-out, on-disk result cache,
+    JSON (and optional CSV) emission under ``--out``.
+``bench``
+    Time the batched simulation paths against the per-realization
+    reference paths (fig3 and fig7 smoke runs) and report the speedups.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run fig3 --smoke
+    python -m repro run all --smoke --jobs 4 --out results
+    python -m repro run fig8 --full --set "qubit_counts=[8,16]"
+    python -m repro bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Any
+
+from .analysis import registry, runner
+from .analysis.reporting import ascii_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'Detecting Qubit-coupling Faults in Ion-trap "
+            "Quantum Computers' (HPCA 2022): unified experiment runner."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    info = sub.add_parser("info", help="show one experiment's presets")
+    info.add_argument("name", help="experiment name (see: list)")
+
+    run = sub.add_parser("run", help="run experiments via the unified runner")
+    run.add_argument(
+        "names",
+        nargs="+",
+        help="experiment names, or 'all' for every registered experiment",
+    )
+    preset = run.add_mutually_exclusive_group()
+    preset.add_argument(
+        "--smoke",
+        action="store_true",
+        help="scaled-down preset (seconds; the default)",
+    )
+    preset.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized preset (minutes for the heavy experiments)",
+    )
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=JSON",
+        help=(
+            "override a config field (JSON value; repeatable; "
+            "single experiment only)"
+        ),
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan experiments out over N worker processes",
+    )
+    run.add_argument(
+        "--out",
+        default="results",
+        help="directory for result JSON/CSV files (default: results/)",
+    )
+    run.add_argument(
+        "--csv", action="store_true", help="also emit flattened CSV rows"
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even if a cached result exists",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache location (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    run.add_argument(
+        "--print-json",
+        action="store_true",
+        help="dump each result payload to stdout as JSON",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark batched vs per-realization simulation paths",
+    )
+    bench.add_argument(
+        "--full",
+        action="store_true",
+        help="benchmark at full size instead of smoke size",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        [spec.name, spec.anchor, spec.title]
+        for spec in registry.all_experiments()
+    ]
+    print(ascii_table(["name", "anchor", "title"], rows))
+    print(
+        "\nrun one with: python -m repro run <name> --smoke "
+        "(see EXPERIMENTS.md for parameters)"
+    )
+    return 0
+
+
+def _cmd_info(name: str) -> int:
+    spec = registry.get_experiment(name)
+    print(f"{spec.name} — {spec.anchor}: {spec.title}")
+    if spec.config_type is None:
+        print("no config parameters")
+        return 0
+    full = spec.config("full")
+    smoke = spec.config("smoke")
+    rows = []
+    for f in dataclasses.fields(spec.config_type):
+        full_v = getattr(full, f.name)
+        smoke_v = getattr(smoke, f.name)
+        rows.append([f.name, repr(full_v), repr(smoke_v)])
+    print(ascii_table(["field", "full", "smoke"], rows))
+    return 0
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, Any] | None:
+    if not pairs:
+        return None
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects FIELD=JSON, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            overrides[key.strip()] = json.loads(raw)
+        except json.JSONDecodeError:
+            # A value that *looks* like JSON (list/dict/number/quoted
+            # string) but fails to parse is a typo, not a bare word.
+            if raw[:1] in set('[{"') or raw[:1].isdigit() or raw[:1] in "-+.":
+                raise SystemExit(
+                    f"--set {key.strip()}: invalid JSON value {raw!r}"
+                )
+            # Bare words are a convenience for string fields.
+            overrides[key.strip()] = raw
+    return overrides
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(args.names)
+    if names == ["all"]:
+        names = registry.experiment_names()
+    preset = "full" if args.full else "smoke"
+    overrides = _parse_overrides(args.overrides)
+    if overrides and len(names) != 1:
+        raise SystemExit("--set applies to a single experiment only")
+    try:
+        records = runner.run_many(
+            names,
+            preset=preset,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            force=args.force,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        # Unknown names / bad overrides get a clean CLI error, not a trace.
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"error: {message}") from exc
+    for record in records:
+        json_path = runner.write_json(record, args.out)
+        outputs = [str(json_path)]
+        if args.csv:
+            outputs.append(str(runner.write_csv(record, args.out)))
+        source = "cache" if record.cache_hit else f"{record.elapsed_seconds:.2f}s"
+        print(f"[{record.name}] {record.anchor} ({preset}, {source})")
+        print(f"  {record.summary}")
+        print(f"  -> {', '.join(outputs)}")
+        if args.print_json:
+            print(json.dumps(record.payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_bench(full: bool) -> int:
+    """Time batched vs per-realization reference paths (fig3, fig7)."""
+    preset = "full" if full else "smoke"
+    rows = []
+    for name, reference_overrides in (
+        ("fig3", {"vectorized": False}),
+        ("fig7", {"batched": False}),
+    ):
+        spec = registry.get_experiment(name)
+        timings = {}
+        for label, overrides in (
+            ("batched", None),
+            ("reference", reference_overrides),
+        ):
+            start = time.perf_counter()
+            spec.run(preset, overrides)
+            timings[label] = time.perf_counter() - start
+        rows.append(
+            [
+                name,
+                preset,
+                f"{timings['reference']:.2f}",
+                f"{timings['batched']:.2f}",
+                f"{timings['reference'] / timings['batched']:.1f}x",
+            ]
+        )
+    print(
+        ascii_table(
+            ["experiment", "preset", "per-realization s", "batched s", "speedup"],
+            rows,
+            title="batched simulation vs per-realization reference",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info(args.name)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args.full)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

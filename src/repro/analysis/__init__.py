@@ -1,4 +1,4 @@
-"""Analysis layer: detection thresholds, reporting, experiment runners."""
+"""Analysis layer: thresholds, reporting, and the unified experiment runner."""
 
 from .detection import (
     CalibratedThresholds,
@@ -6,13 +6,22 @@ from .detection import (
     threshold_from_baseline,
     two_cluster_threshold,
 )
+from .registry import ExperimentSpec, all_experiments, experiment_names, get_experiment
 from .reporting import ascii_table, format_percent, series_csv
+from .runner import RunRecord, run_experiment, run_many
 
 __all__ = [
     "CalibratedThresholds",
     "calibrate_thresholds",
     "threshold_from_baseline",
     "two_cluster_threshold",
+    "ExperimentSpec",
+    "all_experiments",
+    "experiment_names",
+    "get_experiment",
+    "RunRecord",
+    "run_experiment",
+    "run_many",
     "ascii_table",
     "format_percent",
     "series_csv",

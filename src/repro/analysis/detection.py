@@ -82,9 +82,11 @@ class CalibratedThresholds:
     default: float = 0.5
 
     def set(self, repetitions: int, kind: str, threshold: float) -> None:
+        """Record the calibrated threshold for one (repetitions, kind)."""
         self.table[(repetitions, kind)] = threshold
 
     def threshold_for(self, repetitions: int, kind: str = "class") -> float:
+        """Threshold for a test family, falling back across kinds."""
         if (repetitions, kind) in self.table:
             return self.table[(repetitions, kind)]
         # Canaries and magnitude-search tests reuse the class calibration

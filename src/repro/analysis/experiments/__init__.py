@@ -2,11 +2,14 @@
 
 Each module exposes a frozen ``*Config`` dataclass (defaults match the
 paper's parameters) and a ``run_*`` entry point returning structured
-results.  The benchmark harness calls these with scaled-down configs and
-prints the paper-comparable rows; EXPERIMENTS.md records full-size runs.
+results, and registers itself with :mod:`repro.analysis.registry` at
+import time — ``python -m repro run <name>`` and the unified runner
+discover every experiment through that registry.  EXPERIMENTS.md (repo
+root) documents full-size vs ``--smoke`` parameters and the expected
+outputs for each figure.
 """
 
-from .fig2 import Fig2Result, run_fig2
+from .fig2 import Fig2Config, Fig2Result, run_fig2
 from .fig3 import Fig3Config, Fig3Point, run_fig3
 from .fig6 import Fig6Config, Fig6Result, Fig6Row, battery_specs, run_fig6
 from .fig7 import Fig7Config, Fig7Result, run_fig7
@@ -23,6 +26,7 @@ from .table2 import (
 )
 
 __all__ = [
+    "Fig2Config",
     "Fig2Result",
     "run_fig2",
     "Fig3Config",

@@ -27,6 +27,8 @@ __all__ = ["Fig10Config", "Fig10Row", "run_fig10", "sec9_headline"]
 
 @dataclass(frozen=True)
 class Fig10Config:
+    """Machine sizes and per-test parameters of the projection."""
+
     qubit_counts: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1024)
     shots: int = 300
     repetitions: int = 4
@@ -35,6 +37,8 @@ class Fig10Config:
 
 @dataclass(frozen=True)
 class Fig10Row:
+    """Wall-clock of the three strategies at one machine size."""
+
     n_qubits: int
     point_check_seconds: float
     binary_search_seconds: float
@@ -88,6 +92,7 @@ class Sec9Headline:
 def sec9_headline(
     timing: TimingModel | None = None, shots: int = 300, repetitions: int = 4
 ) -> Sec9Headline:
+    """Evaluate the Sec. IX wall-clock claim on the 11-qubit system."""
     timing = timing or TimingModel()
     n = 11
     total_point = timing.point_check_total(n, shots, repetitions)
@@ -96,3 +101,46 @@ def sec9_headline(
         point_check_seconds=total_point,
         point_check_per_coupling=total_point / math.comb(n, 2),
     )
+
+
+def _register() -> None:
+    """Hook this experiment into the unified runner registry."""
+    from ..registry import register_experiment
+
+    register_experiment(
+        name="fig10",
+        anchor="Fig. 10",
+        title="Projected testing speed-up vs machine size",
+        runner=run_fig10,
+        config_type=Fig10Config,
+        smoke_overrides={"qubit_counts": (8, 16, 32, 64)},
+        to_rows=lambda rows: (
+            [
+                "n_qubits",
+                "point_check_seconds",
+                "binary_search_seconds",
+                "non_adaptive_seconds",
+                "adaptive_speedup",
+                "non_adaptive_speedup",
+            ],
+            [
+                [
+                    r.n_qubits,
+                    r.point_check_seconds,
+                    r.binary_search_seconds,
+                    r.non_adaptive_seconds,
+                    r.adaptive_speedup,
+                    r.non_adaptive_speedup,
+                ]
+                for r in rows
+            ],
+        ),
+        summarize=lambda rows: (
+            f"non-adaptive speedup {rows[-1].non_adaptive_speedup:,.0f}x "
+            f"at N={rows[-1].n_qubits} "
+            f"(adaptive plateaus at {rows[-1].adaptive_speedup:,.0f}x)"
+        ),
+    )
+
+
+_register()

@@ -19,11 +19,15 @@ __all__ = ["Fig11Config", "Fig11Row", "run_fig11"]
 
 @dataclass(frozen=True)
 class Fig11Config:
+    """Machine sizes at which suite usage is evaluated."""
+
     qubit_counts: tuple[int, ...] = (4, 6, 8, 12, 16, 20, 24, 32)
 
 
 @dataclass(frozen=True)
 class Fig11Row:
+    """Coupling usage of the benchmark suite at one machine size."""
+
     n_qubits: int
     usage: SuiteUsage
 
@@ -42,3 +46,28 @@ def run_fig11(cfg: Fig11Config | None = None) -> list[Fig11Row]:
     return [
         Fig11Row(n_qubits=n, usage=suite_usage(n)) for n in cfg.qubit_counts
     ]
+
+
+def _register() -> None:
+    """Hook this experiment into the unified runner registry."""
+    from ..registry import register_experiment
+
+    register_experiment(
+        name="fig11",
+        anchor="Fig. 11",
+        title="Coupling utilisation of application circuits vs size",
+        runner=run_fig11,
+        config_type=Fig11Config,
+        smoke_overrides={"qubit_counts": (4, 8, 16)},
+        to_rows=lambda rows: (
+            ["n_qubits", "mean_used_couplings", "mean_fraction_of_available"],
+            [[r.n_qubits, r.mean_used, r.mean_fraction] for r in rows],
+        ),
+        summarize=lambda rows: (
+            f"mean fraction of couplings used at N={rows[-1].n_qubits}: "
+            f"{rows[-1].mean_fraction:.0%}"
+        ),
+    )
+
+
+_register()

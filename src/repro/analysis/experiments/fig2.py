@@ -13,11 +13,20 @@ from dataclasses import dataclass
 from ...trap.duty_cycle import DutyCycleBreakdown, improved_duty_cycle
 from .fig10 import Fig10Config, run_fig10
 
-__all__ = ["Fig2Result", "run_fig2"]
+__all__ = ["Fig2Config", "Fig2Result", "run_fig2"]
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    """Machine size at which the duty-cycle improvement is evaluated."""
+
+    n_qubits: int = 16
 
 
 @dataclass(frozen=True)
 class Fig2Result:
+    """Baseline vs improved duty cycle and the speed-up applied."""
+
     baseline: DutyCycleBreakdown
     improved: DutyCycleBreakdown
     speedup_used: float
@@ -29,14 +38,65 @@ class Fig2Result:
         return self.improved.jobs - self.baseline.jobs
 
 
-def run_fig2(n_qubits: int = 16) -> Fig2Result:
-    """Baseline vs improved duty cycle at one machine size."""
+def run_fig2(cfg: Fig2Config | int | None = None) -> Fig2Result:
+    """Baseline vs improved duty cycle at one machine size.
+
+    Accepts a :class:`Fig2Config` (registry interface) or a bare qubit
+    count (legacy call style).
+    """
+    if cfg is None:
+        cfg = Fig2Config()
+    elif isinstance(cfg, int):
+        cfg = Fig2Config(n_qubits=cfg)
     baseline = DutyCycleBreakdown()
-    rows = run_fig10(Fig10Config(qubit_counts=(n_qubits,)))
+    rows = run_fig10(Fig10Config(qubit_counts=(cfg.n_qubits,)))
     speedup = rows[0].non_adaptive_speedup
     return Fig2Result(
         baseline=baseline,
         improved=improved_duty_cycle(baseline, speedup),
         speedup_used=speedup,
-        n_qubits=n_qubits,
+        n_qubits=cfg.n_qubits,
     )
+
+
+def _register() -> None:
+    """Hook this experiment into the unified runner registry."""
+    from ..registry import register_experiment
+
+    register_experiment(
+        name="fig2",
+        anchor="Fig. 2",
+        title="Duty-cycle uptime gained by faster coupling tests",
+        runner=run_fig2,
+        config_type=Fig2Config,
+        smoke_overrides={},
+        to_rows=lambda r: (
+            [
+                "n_qubits",
+                "speedup_used",
+                "baseline_jobs",
+                "baseline_coupling_tests",
+                "improved_jobs",
+                "improved_coupling_tests",
+                "uptime_gain",
+            ],
+            [
+                [
+                    r.n_qubits,
+                    r.speedup_used,
+                    r.baseline.jobs,
+                    r.baseline.coupling_tests,
+                    r.improved.jobs,
+                    r.improved.coupling_tests,
+                    r.uptime_gain,
+                ]
+            ],
+        ),
+        summarize=lambda r: (
+            f"jobs share {r.baseline.jobs:.0%} -> {r.improved.jobs:.0%} "
+            f"at N={r.n_qubits} (coupling tests {r.speedup_used:.0f}x faster)"
+        ),
+    )
+
+
+_register()

@@ -81,14 +81,18 @@ class Fig6Row:
 
 @dataclass(frozen=True)
 class Fig6Result:
+    """All battery rows plus the injected faults, largest first."""
+
     rows: tuple[Fig6Row, ...]
     #: Faults injected, largest first: ((pair, under_rotation), ...).
     faults: tuple[tuple[tuple[int, int], float], ...]
 
     def rows_for(self, repetitions: int) -> list[Fig6Row]:
+        """Rows of the battery with the given gate-repetition count."""
         return [r for r in self.rows if r.repetitions == repetitions]
 
     def clean_fidelities(self, repetitions: int) -> list[float]:
+        """Fidelities of fault-free tests at one depth."""
         return [
             r.fidelity
             for r in self.rows_for(repetitions)
@@ -96,6 +100,7 @@ class Fig6Result:
         ]
 
     def faulty_fidelities(self, repetitions: int) -> list[float]:
+        """Fidelities of fault-containing tests at one depth."""
         return [
             r.fidelity for r in self.rows_for(repetitions) if r.contains_fault
         ]
@@ -174,3 +179,47 @@ def run_fig6(cfg: Fig6Config | None = None) -> Fig6Result:
                 )
             )
     return Fig6Result(rows=tuple(rows), faults=cfg.faults)
+
+
+def _register() -> None:
+    """Hook this experiment into the unified runner registry."""
+    from ..registry import register_experiment
+
+    register_experiment(
+        name="fig6",
+        anchor="Fig. 6",
+        title="Test batteries against artificially injected faults",
+        runner=run_fig6,
+        config_type=Fig6Config,
+        smoke_overrides={"shots": 150},
+        to_rows=lambda r: (
+            [
+                "test_name",
+                "repetitions",
+                "fidelity",
+                "threshold",
+                "flagged",
+                "contains_fault",
+                "contains_largest",
+            ],
+            [
+                [
+                    row.test_name,
+                    row.repetitions,
+                    row.fidelity,
+                    row.threshold,
+                    row.flagged,
+                    row.contains_fault,
+                    row.contains_largest,
+                ]
+                for row in r.rows
+            ],
+        ),
+        summarize=lambda r: (
+            f"47% fault resolved at 2-MS: {r.largest_fault_resolved(2)}; "
+            f"all faults resolved at 4-MS: {r.all_faults_resolved(4)}"
+        ),
+    )
+
+
+_register()

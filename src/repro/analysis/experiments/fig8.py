@@ -34,6 +34,8 @@ __all__ = ["Fig8Config", "Fig8Series", "run_fig8", "class_test_for_pair"]
 
 @dataclass(frozen=True)
 class Fig8Config:
+    """Sweep grid, noise strengths and detection criteria."""
+
     qubit_counts: tuple[int, ...] = (8, 16, 32)
     repetition_counts: tuple[int, ...] = (2, 4)
     under_rotations: tuple[float, ...] = (
@@ -157,3 +159,65 @@ def _first_crossing(
         if rate >= target:
             return x
     return None
+
+
+def _register() -> None:
+    """Hook this experiment into the unified runner registry."""
+    from ..registry import register_experiment
+
+    def _to_rows(series: list[Fig8Series]):
+        rows = []
+        for s in series:
+            for u, mean, rate in zip(
+                s.under_rotations, s.mean_fidelity, s.detection_rate
+            ):
+                rows.append(
+                    [
+                        s.n_qubits,
+                        s.repetitions,
+                        u,
+                        mean,
+                        rate,
+                        s.baseline_mean,
+                        s.threshold,
+                        s.min_detectable_95,
+                    ]
+                )
+        return (
+            [
+                "n_qubits",
+                "repetitions",
+                "under_rotation",
+                "mean_fidelity",
+                "detection_rate",
+                "baseline_mean",
+                "threshold",
+                "min_detectable_95",
+            ],
+            rows,
+        )
+
+    register_experiment(
+        name="fig8",
+        anchor="Fig. 8",
+        title="Fault contrast vs under-rotation at 8/16/32 qubits",
+        runner=run_fig8,
+        config_type=Fig8Config,
+        smoke_overrides={
+            "qubit_counts": (8,),
+            "repetition_counts": (2,),
+            "under_rotations": (0.0, 0.15, 0.30, 0.45),
+            "trials": 10,
+            "baseline_trials": 15,
+            "shots": 150,
+        },
+        to_rows=_to_rows,
+        summarize=lambda series: "min detectable (95%): " + "; ".join(
+            f"N={s.n_qubits}/{s.repetitions}-MS: "
+            + (f"{s.min_detectable_95:.0%}" if s.min_detectable_95 else "n/a")
+            for s in series
+        ),
+    )
+
+
+_register()

@@ -38,6 +38,8 @@ Pair = frozenset[int]
 
 @dataclass(frozen=True)
 class Fig9Config:
+    """Panel grid, distribution parameters and trial counts."""
+
     qubit_counts: tuple[int, ...] = (8, 16, 32)
     repetition_counts: tuple[int, ...] = (2, 4)
     sigmas: tuple[float, ...] = (0.025, 0.05, 0.075, 0.10, 0.15)
@@ -202,3 +204,47 @@ def run_fig9(cfg: Fig9Config | None = None) -> list[Fig9Panel]:
                 )
             )
     return panels
+
+
+def _register() -> None:
+    """Hook this experiment into the unified runner registry."""
+    from ..registry import register_experiment
+
+    def _to_rows(panels: list[Fig9Panel]):
+        rows = []
+        for panel in panels:
+            for k, probs in sorted(panel.success.items()):
+                for sigma, prob in zip(panel.sigmas, probs):
+                    rows.append(
+                        [panel.n_qubits, panel.repetitions, sigma, k, prob]
+                    )
+        return (
+            ["n_qubits", "repetitions", "sigma", "top_k", "p_identified"],
+            rows,
+        )
+
+    register_experiment(
+        name="fig9",
+        anchor="Fig. 9",
+        title="Identification probability vs under-rotation spread",
+        runner=run_fig9,
+        config_type=Fig9Config,
+        smoke_overrides={
+            "qubit_counts": (8,),
+            "repetition_counts": (2,),
+            "sigmas": (0.05, 0.10),
+            "top_k": (1,),
+            "trials": 6,
+            "threshold_trials": 2,
+            "shots": 150,
+            "max_faults": 4,
+        },
+        to_rows=_to_rows,
+        summarize=lambda panels: "P(top-1) at max sigma: " + "; ".join(
+            f"N={p.n_qubits}/{p.repetitions}-MS: {p.success[min(p.success)][-1]:.0%}"
+            for p in panels
+        ),
+    )
+
+
+_register()

@@ -50,6 +50,8 @@ Pair = frozenset[int]
 
 @dataclass(frozen=True)
 class Table2Config:
+    """Machine sizes, fault counts, and enumeration/MC limits."""
+
     qubit_counts: tuple[int, ...] = (8, 16, 32)
     fault_counts: tuple[int, ...] = (1, 2, 3)
     #: Fault-set count above which enumeration switches to Monte-Carlo.
@@ -60,6 +62,8 @@ class Table2Config:
 
 @dataclass(frozen=True)
 class Table2Cell:
+    """One (N, k) cell: our estimates beside the paper's value."""
+
     n_qubits: int
     k_faults: int
     p_identify: float
@@ -147,3 +151,51 @@ def _comb(n: int, k: int) -> int:
     import math
 
     return math.comb(n, k)
+
+
+def _register() -> None:
+    """Hook this experiment into the unified runner registry."""
+    from ..registry import register_experiment
+
+    register_experiment(
+        name="table2",
+        anchor="Table II",
+        title="Probability of identifying 1-3 simultaneous faults",
+        runner=run_table2,
+        config_type=Table2Config,
+        smoke_overrides={
+            "qubit_counts": (8,),
+            "fault_counts": (1, 2),
+            "exhaustive_limit": 400,
+            "mc_trials": 60,
+        },
+        to_rows=lambda cells: (
+            [
+                "n_qubits",
+                "k_faults",
+                "p_identify",
+                "p_unique_union",
+                "exact",
+                "paper_value",
+            ],
+            [
+                [
+                    c.n_qubits,
+                    c.k_faults,
+                    c.p_identify,
+                    c.p_unique_union,
+                    c.exact,
+                    c.paper_value,
+                ]
+                for c in cells
+            ],
+        ),
+        summarize=lambda cells: "P(identify): " + "; ".join(
+            f"N={c.n_qubits},k={c.k_faults}: {c.p_identify:.0%}"
+            + (f" (paper {c.paper_value:.0%})" if c.paper_value else "")
+            for c in cells
+        ),
+    )
+
+
+_register()

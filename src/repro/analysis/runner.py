@@ -1,0 +1,302 @@
+"""Unified experiment runner: caching, fan-out, structured emission.
+
+This is the execution layer over :mod:`repro.analysis.registry`:
+
+* **Result cache** — every run is keyed by a SHA-256 digest of
+  ``(experiment, package version, full config)``; the JSON payload lands
+  in the cache directory and a repeated invocation with the same config
+  returns it without re-simulating.
+* **Multiprocessing fan-out** — ``run_many`` distributes independent
+  experiment jobs across worker processes (each worker writes its own
+  cache file atomically, so concurrent runs compose).
+* **Structured emission** — results serialize to JSON (``to_jsonable``
+  handles the dataclass/numpy/frozenset shapes the experiments produce)
+  and flatten to CSV via each spec's ``to_rows``.
+
+The ``python -m repro`` CLI is a thin shell over this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .registry import ExperimentSpec, get_experiment
+
+__all__ = [
+    "RunRecord",
+    "config_digest",
+    "default_cache_dir",
+    "run_experiment",
+    "run_many",
+    "to_jsonable",
+    "write_csv",
+    "write_json",
+]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache location: ``$REPRO_CACHE_DIR`` or ``.repro-cache/`` in cwd."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else Path.cwd() / ".repro-cache"
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert experiment results to JSON-serializable structures.
+
+    Handles the shapes the experiment dataclasses produce: nested
+    dataclasses, numpy scalars/arrays, tuples/sets, and dicts keyed by
+    non-strings (frozenset pairs render as ``"i-j"``).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {_key_str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return [to_jsonable(v) for v in sorted(value)]
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _key_str(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (set, frozenset, tuple)):
+        return "-".join(str(v) for v in sorted(key))
+    return str(key)
+
+
+def config_digest(name: str, config: Any) -> str:
+    """Stable digest of an experiment invocation (name, version, config)."""
+    from .. import __version__
+
+    blob = json.dumps(
+        {
+            "experiment": name,
+            "version": __version__,
+            "config": to_jsonable(config),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """Outcome of one runner invocation (fresh or cache-served)."""
+
+    name: str
+    anchor: str
+    preset: str
+    config_digest: str
+    elapsed_seconds: float
+    cache_hit: bool
+    payload: dict[str, Any]
+    #: The live result object; ``None`` when served from the cache.
+    result: Any = None
+
+    @property
+    def summary(self) -> str:
+        """One-line summary carried in the payload."""
+        return str(self.payload.get("summary", ""))
+
+    def rows(self, spec: ExperimentSpec | None = None) -> tuple[list[str], list[list[object]]]:
+        """CSV header and rows for this record.
+
+        Fresh runs flatten the live result; cached records carry their
+        rows inside the payload.
+        """
+        if self.result is not None:
+            spec = spec or get_experiment(self.name)
+            return spec.to_rows(self.result)
+        table = self.payload.get("rows", {})
+        return list(table.get("headers", [])), [
+            list(r) for r in table.get("rows", [])
+        ]
+
+
+def _cache_path(cache_dir: Path, name: str, digest: str) -> Path:
+    return cache_dir / f"{name}-{digest}.json"
+
+
+def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def run_experiment(
+    name: str,
+    preset: str = "smoke",
+    overrides: dict[str, Any] | None = None,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+) -> RunRecord:
+    """Run one registered experiment (or serve it from the result cache).
+
+    Parameters
+    ----------
+    name:
+        Registered experiment name (see ``python -m repro list``).
+    preset:
+        ``"smoke"`` (scaled-down, seconds) or ``"full"`` (paper-sized).
+    overrides:
+        Config-field overrides applied on top of the preset.
+    cache_dir:
+        Cache location; defaults to :func:`default_cache_dir`.
+    use_cache:
+        Read/write the on-disk result cache.
+    force:
+        Recompute even when a cached payload exists (the fresh result
+        overwrites it).
+    """
+    spec = get_experiment(name)
+    config = spec.config(preset, overrides)
+    digest = config_digest(name, config)
+    cache_base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    path = _cache_path(cache_base, name, digest)
+    if use_cache and not force and path.exists():
+        with open(path) as handle:
+            payload = json.load(handle)
+        # The digest keys on the config alone; two presets can share one
+        # payload (identical configs), so refresh the request metadata.
+        payload["preset"] = preset
+        return RunRecord(
+            name=name,
+            anchor=spec.anchor,
+            preset=preset,
+            config_digest=digest,
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            cache_hit=True,
+            payload=payload,
+        )
+    start = time.perf_counter()
+    result = spec.runner(config)
+    elapsed = time.perf_counter() - start
+    headers, rows = spec.to_rows(result)
+    payload = {
+        "experiment": name,
+        "anchor": spec.anchor,
+        "title": spec.title,
+        "preset": preset,
+        "config": to_jsonable(config),
+        "config_digest": digest,
+        "elapsed_seconds": elapsed,
+        "summary": spec.summarize(result),
+        "result": to_jsonable(result),
+        "rows": {"headers": headers, "rows": to_jsonable(rows)},
+    }
+    if use_cache:
+        _atomic_write_json(path, payload)
+    return RunRecord(
+        name=name,
+        anchor=spec.anchor,
+        preset=preset,
+        config_digest=digest,
+        elapsed_seconds=elapsed,
+        cache_hit=False,
+        payload=payload,
+        result=result,
+    )
+
+
+def _run_job(args: tuple[str, str, dict[str, Any] | None, str | None, bool, bool]) -> RunRecord:
+    """Worker entry point for :func:`run_many` (must be module-level)."""
+    name, preset, overrides, cache_dir, use_cache, force = args
+    record = run_experiment(
+        name,
+        preset=preset,
+        overrides=overrides,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        force=force,
+    )
+    # The live result object may not pickle cheaply; the payload carries
+    # everything consumers need across the process boundary.
+    record.result = None
+    return record
+
+
+def run_many(
+    names: list[str],
+    preset: str = "smoke",
+    overrides: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+) -> list[RunRecord]:
+    """Run several experiments, optionally fanned out across processes.
+
+    With ``jobs > 1`` the configs are distributed over a process pool;
+    each worker caches its own result, so a rerun (any job count) is
+    served from disk.  Results return in input order.
+    """
+    for name in names:
+        get_experiment(name)  # fail fast on unknown names
+    job_args = [
+        (name, preset, overrides, str(cache_dir) if cache_dir else None,
+         use_cache, force)
+        for name in names
+    ]
+    if jobs <= 1 or len(names) <= 1:
+        return [_run_job(args) for args in job_args]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        return list(pool.map(_run_job, job_args))
+
+
+def write_json(record: RunRecord, out_dir: Path | str) -> Path:
+    """Write a record's payload to ``<out>/<name>-<preset>.json``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{record.name}-{record.preset}.json"
+    _atomic_write_json(path, record.payload)
+    return path
+
+
+def write_csv(record: RunRecord, out_dir: Path | str) -> Path:
+    """Write a record's flattened rows to ``<out>/<name>-<preset>.csv``."""
+    from .reporting import series_csv
+
+    headers, rows = record.rows()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{record.name}-{record.preset}.csv"
+    path.write_text(series_csv(headers, rows) + "\n")
+    return path

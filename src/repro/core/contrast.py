@@ -55,12 +55,14 @@ class FidelityModel:
     coefficients: dict[int, tuple[float, float]]
 
     def log_baseline(self, repetitions: int, n_couplings: int) -> float:
+        """Log of the fault-free fidelity of a test on ``n_couplings``."""
         if repetitions not in self.coefficients:
             raise KeyError(f"model not fit for repetitions={repetitions}")
         a, b = self.coefficients[repetitions]
         return a + b * n_couplings
 
     def baseline(self, repetitions: int, n_couplings: int) -> float:
+        """Fault-free fidelity of a test exercising ``n_couplings``."""
         return math.exp(self.log_baseline(repetitions, n_couplings))
 
 
@@ -157,6 +159,7 @@ class ContrastExecutor:
     drift: dict[int, float] = field(default_factory=dict)
 
     def execute(self, spec: TestSpec) -> TestResult:
+        """Run one spec through the analytic contrast model."""
         result = self._measure(spec)
         return self._classify(spec, result)
 

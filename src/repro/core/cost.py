@@ -35,6 +35,7 @@ class CostTracker:
     runs_by_kind: dict[str, int] = field(default_factory=dict)
 
     def record_run(self, spec: TestSpec, shots: int) -> None:
+        """Account one executed test circuit and its shots."""
         self.circuit_runs += 1
         self.shots += shots
         self.runs_by_kind[spec.kind] = self.runs_by_kind.get(spec.kind, 0) + 1
@@ -44,6 +45,7 @@ class CostTracker:
         self.adaptations += 1
 
     def merged_with(self, other: "CostTracker") -> "CostTracker":
+        """A new tracker summing this session's costs with ``other``'s."""
         merged = CostTracker(
             adaptations=self.adaptations + other.adaptations,
             circuit_runs=self.circuit_runs + other.circuit_runs,

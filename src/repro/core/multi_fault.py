@@ -112,6 +112,7 @@ class MultiFaultReport:
     circuit_runs: int
 
     def identified_sorted(self) -> list[tuple[int, int]]:
+        """Identified pairs in diagnosis order, as sorted int tuples."""
         return [tuple(sorted(p)) for p in self.identified]
 
 

@@ -30,6 +30,7 @@ class OracleExecutor:
     cost: CostTracker = field(default_factory=CostTracker)
 
     def execute(self, spec: TestSpec) -> TestResult:
+        """Judge one spec deterministically against the fault set."""
         failed = any(p in self.faults for p in spec.pairs)
         self.cost.record_run(spec, self.shots)
         return TestResult(
@@ -40,4 +41,5 @@ class OracleExecutor:
         )
 
     def execute_batch(self, specs: list[TestSpec]) -> list[TestResult]:
+        """Judge a predetermined batch of specs."""
         return [self.execute(spec) for spec in specs]

@@ -32,6 +32,7 @@ class PointCheckStrategy:
             self.relevant = set(all_couplings(self.n_qubits))
 
     def specs(self) -> list[TestSpec]:
+        """One verify-style spec per relevant coupling."""
         return [
             TestSpec(
                 name=f"point({min(p)},{max(p)})",

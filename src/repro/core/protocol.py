@@ -33,13 +33,23 @@ Pair = frozenset[int]
 
 
 class MatchBackend(TypingProtocol):
-    """Minimal machine surface the protocols need."""
+    """Minimal machine surface the protocols need.
+
+    ``realizations`` is the optional shot-batching hint: how many
+    independent noise realizations to split the shots across (backends
+    without stochastic noise may ignore it).
+    """
 
     n_qubits: int
 
     def run_match(
-        self, circuit: Circuit, expected: int, shots: int
+        self,
+        circuit: Circuit,
+        expected: int,
+        shots: int,
+        realizations: int | None = None,
     ) -> Counts:  # pragma: no cover - protocol definition
+        """Run a circuit and report counts for the expected bitstring."""
         ...
 
 
@@ -49,6 +59,7 @@ class ThresholdPolicy(TypingProtocol):
     def threshold_for(
         self, repetitions: int, kind: str = "class"
     ) -> float:  # pragma: no cover - protocol definition
+        """Fidelity threshold for a test family."""
         ...
 
 
@@ -66,6 +77,7 @@ class FixedThresholds:
     canary_margin: float = 1.0
 
     def threshold_for(self, repetitions: int, kind: str = "class") -> float:
+        """Threshold for the repetition count, scaled for canaries."""
         threshold = self.default
         for reps, value in self.by_repetitions:
             if reps == repetitions:
@@ -107,6 +119,10 @@ class TestExecutor:
         Pass/fail policy.
     shots:
         Shots per test circuit (the paper uses 300-1000).
+    shot_batch:
+        Optional shot-batching override threaded through to the backend:
+        the number of noise-realization groups the shots are split across
+        per test.  ``None`` keeps the backend's own granularity.
     cost:
         Optional cost tracker shared across a diagnosis session.
     """
@@ -114,6 +130,7 @@ class TestExecutor:
     machine: MatchBackend
     thresholds: ThresholdPolicy = field(default_factory=FixedThresholds)
     shots: int = 300
+    shot_batch: int | None = None
     cost: CostTracker = field(default_factory=CostTracker)
 
     def execute(self, spec: TestSpec) -> TestResult:
@@ -127,7 +144,12 @@ class TestExecutor:
             )
         circuit = build_test_circuit(spec, n)
         expected = expected_output(spec, n)
-        counts = self.machine.run_match(circuit, expected, self.shots)
+        if self.shot_batch is None:
+            counts = self.machine.run_match(circuit, expected, self.shots)
+        else:
+            counts = self.machine.run_match(
+                circuit, expected, self.shots, realizations=self.shot_batch
+            )
         fidelity = match_fraction(counts, expected)
         self.cost.record_run(spec, self.shots)
         return TestResult(
@@ -150,6 +172,7 @@ class DiagnosisReport:
     shots: int
 
     def summary(self) -> str:
+        """One-line human rendering of the diagnosis outcome."""
         found = (
             ", ".join("{%d,%d}" % tuple(sorted(p)) for p in self.identified)
             or "none"

@@ -61,12 +61,14 @@ class TestSpec:
                 raise ValueError("couplings join exactly two qubits")
 
     def qubits(self) -> set[int]:
+        """All qubits touched by this test's couplings."""
         out: set[int] = set()
         for p in self.pairs:
             out.update(p)
         return out
 
     def meta(self) -> dict[str, object]:
+        """Loggable summary of the spec (name, size, depth, kind)."""
         return dict(self.metadata)
 
 

@@ -187,6 +187,78 @@ class GateNoiseModel:
             ops.append(Operation("R", (q,), (delta, axis)))
         return ops
 
+    # -- batched (per-noise-realization) parameter draws --------------------------
+
+    def noisy_ms_params_block(
+        self,
+        specs: list[tuple[int, int, float, float, float]],
+        ts: np.ndarray,
+    ) -> np.ndarray:
+        """Per-realization MS parameters for a whole circuit's MS slots.
+
+        ``specs`` rows are ``(q1, q2, theta_nominal, under_rotation,
+        phase_offset)`` — one per MS/XX application, in program order;
+        ``ts`` has shape ``(n_ms, n_batch)`` with each slot's per-
+        realization gate times.  All amplitude noise is drawn in a single
+        RNG call and phase-noise lookups are grouped per ion, so the cost
+        is a handful of vectorized operations regardless of circuit
+        depth.  Returns shape ``(n_ms, n_batch, 3)``.
+        """
+        n_ms, n_batch = ts.shape
+        if len(specs) != n_ms:
+            raise ValueError("one spec row per MS slot required")
+        thetas = np.array([s[2] for s in specs], dtype=float)
+        unders = np.array([s[3] for s in specs], dtype=float)
+        offsets = np.array([s[4] for s in specs], dtype=float)
+        if self.params.amplitude_sigma > 0:
+            xi = self.rng.normal(0.0, self.params.amplitude_sigma, ts.shape)
+        else:
+            xi = np.zeros(ts.shape)
+        out = np.empty((n_ms, n_batch, 3))
+        out[:, :, 0] = thetas[:, None] * (1.0 - unders[:, None]) * (1.0 + xi)
+        out[:, :, 1] = offsets[:, None]
+        out[:, :, 2] = offsets[:, None]
+        if self._phase_processes:
+            for col, pos in ((1, 0), (2, 1)):
+                by_qubit: dict[int, list[int]] = {}
+                for k, spec in enumerate(specs):
+                    by_qubit.setdefault(spec[pos], []).append(k)
+                for q, rows in by_qubit.items():
+                    out[rows, :, col] += self._phase_processes[q].values_at(
+                        ts[rows]
+                    )
+        return out
+
+    def residual_kick_params_block(
+        self, n_kicks: int, n_batch: int
+    ) -> np.ndarray:
+        """Per-realization kick parameters for ``n_kicks`` residual slots.
+
+        Vectorized counterpart of :meth:`residual_kick_params` drawing the
+        whole circuit's kicks at once; returns shape
+        ``(n_kicks, n_batch, 2)``.
+        """
+        d0 = math.sqrt(2.0 * self.params.residual_odd_population)
+        out = np.empty((n_kicks, n_batch, 2))
+        out[:, :, 0] = self.rng.normal(0.0, d0, (n_kicks, n_batch))
+        out[:, :, 1] = self.rng.uniform(0.0, 2.0 * math.pi, (n_kicks, n_batch))
+        return out
+
+    def noisy_r_params(
+        self, q: int, theta_nominal: float, phi: float, ts: np.ndarray
+    ) -> np.ndarray:
+        """Per-realization ``(theta, phi)`` rows for one R slot."""
+        n_batch = len(ts)
+        if self.params.amplitude_sigma_1q > 0:
+            xi = self.rng.normal(0.0, self.params.amplitude_sigma_1q, n_batch)
+        else:
+            xi = np.zeros(n_batch)
+        theta = theta_nominal * (1.0 + xi)
+        phi_a = np.full(n_batch, phi, dtype=float)
+        if self._phase_processes:
+            phi_a += self._phase_processes[q].values_at(ts)
+        return np.stack([theta, phi_a], axis=1)
+
     # -- one-qubit gates ----------------------------------------------------------
 
     def noisy_r_ops(

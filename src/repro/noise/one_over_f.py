@@ -86,6 +86,14 @@ class OneOverFProcess:
         idx = int(round(t / self.dt)) % len(self.series)
         return float(self.series[idx])
 
+    def values_at(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value_at` over an array of times."""
+        ts = np.asarray(ts, dtype=float)
+        if np.any(ts < 0):
+            raise ValueError("time must be non-negative")
+        idx = np.rint(ts / self.dt).astype(np.int64) % len(self.series)
+        return self.series[idx]
+
 
 def estimate_psd_exponent(series: np.ndarray) -> float:
     """Least-squares estimate of the spectral exponent of a series.

@@ -44,6 +44,7 @@ class CountsBackend(Protocol):
     """Anything that can run a circuit and return measurement counts."""
 
     def run(self, circuit: Circuit, shots: int) -> Counts:  # pragma: no cover
+        """Execute a circuit and return full measurement counts."""
         ...
 
 

@@ -82,6 +82,7 @@ class TransverseModes:
         return self.vectors.shape[1]
 
     def mode_count(self) -> int:
+        """Number of transverse motional modes (= number of ions)."""
         return len(self.frequencies)
 
 

@@ -9,9 +9,21 @@
 """
 
 from .circuit import Circuit, Operation
-from .sampling import Counts, match_fraction, sample_bernoulli_counts
-from .statevector import MAX_DENSE_QUBITS, StatevectorSimulator, simulate, zero_state
-from .xx_engine import XXCircuitEvaluator
+from .sampling import (
+    Counts,
+    match_fraction,
+    sample_bernoulli_counts,
+    sample_bernoulli_counts_batch,
+    sample_counts_from_probs,
+)
+from .statevector import (
+    MAX_DENSE_QUBITS,
+    BatchedStatevectorSimulator,
+    StatevectorSimulator,
+    simulate,
+    zero_state,
+)
+from .xx_engine import XXBatchEvaluator, XXCircuitEvaluator
 
 __all__ = [
     "Circuit",
@@ -19,9 +31,13 @@ __all__ = [
     "Counts",
     "match_fraction",
     "sample_bernoulli_counts",
+    "sample_bernoulli_counts_batch",
+    "sample_counts_from_probs",
     "StatevectorSimulator",
+    "BatchedStatevectorSimulator",
     "simulate",
     "zero_state",
     "MAX_DENSE_QUBITS",
+    "XXBatchEvaluator",
     "XXCircuitEvaluator",
 ]

@@ -17,7 +17,7 @@ import numpy as np
 
 from . import gates
 
-__all__ = ["Operation", "Circuit"]
+__all__ = ["Operation", "Circuit", "is_multiple_of_pi"]
 
 #: Gates natively understood by the simulators, mapped to their arity.
 _GATE_ARITY = {
@@ -122,12 +122,20 @@ class Operation:
             return True
         if self.gate == "MS":
             _, phi1, phi2 = self.params
-            return _is_multiple_of_pi(phi1) and _is_multiple_of_pi(phi2)
+            return bool(
+                is_multiple_of_pi(phi1) and is_multiple_of_pi(phi2)
+            )
         return False
 
 
-def _is_multiple_of_pi(phi: float, atol: float = 1e-12) -> bool:
-    return abs(phi / math.pi - round(phi / math.pi)) < atol
+def is_multiple_of_pi(phi, atol: float = 1e-12):
+    """True where ``phi`` is an integer multiple of pi (elementwise).
+
+    The single source of the pi-multiple tolerance used to decide
+    X-basis diagonality; accepts scalars or arrays.
+    """
+    ratio = np.asarray(phi) / math.pi
+    return np.abs(ratio - np.rint(ratio)) < atol
 
 
 @dataclass
@@ -158,54 +166,69 @@ class Circuit:
     # -- builder methods ----------------------------------------------------
 
     def append(self, op: Operation) -> "Circuit":
+        """Append a validated operation; returns ``self`` for chaining."""
         self._check_op(op)
         self.ops.append(op)
         return self
 
     def extend(self, ops: Iterable[Operation]) -> "Circuit":
+        """Append several operations in order; returns ``self``."""
         for op in ops:
             self.append(op)
         return self
 
     def r(self, q: int, theta: float, phi: float) -> "Circuit":
+        """Native one-qubit rotation ``R(theta, phi)`` on qubit ``q``."""
         return self.append(Operation("R", (q,), (theta, phi)))
 
     def rx(self, q: int, theta: float) -> "Circuit":
+        """Rotation about X by ``theta`` on qubit ``q``."""
         return self.append(Operation("RX", (q,), (theta,)))
 
     def ry(self, q: int, theta: float) -> "Circuit":
+        """Rotation about Y by ``theta`` on qubit ``q``."""
         return self.append(Operation("RY", (q,), (theta,)))
 
     def rz(self, q: int, theta: float) -> "Circuit":
+        """Rotation about Z by ``theta`` on qubit ``q``."""
         return self.append(Operation("RZ", (q,), (theta,)))
 
     def x(self, q: int) -> "Circuit":
+        """Pauli-X gate on qubit ``q``."""
         return self.append(Operation("X", (q,)))
 
     def y(self, q: int) -> "Circuit":
+        """Pauli-Y gate on qubit ``q``."""
         return self.append(Operation("Y", (q,)))
 
     def z(self, q: int) -> "Circuit":
+        """Pauli-Z gate on qubit ``q``."""
         return self.append(Operation("Z", (q,)))
 
     def h(self, q: int) -> "Circuit":
+        """Hadamard gate on qubit ``q``."""
         return self.append(Operation("H", (q,)))
 
     def ms(
         self, q1: int, q2: int, theta: float, phi1: float = 0.0, phi2: float = 0.0
     ) -> "Circuit":
+        """Molmer-Sorensen gate ``M(theta, phi1, phi2)`` on ``(q1, q2)``."""
         return self.append(Operation("MS", (q1, q2), (theta, phi1, phi2)))
 
     def xx(self, q1: int, q2: int, theta: float) -> "Circuit":
+        """Ising interaction ``XX(theta)`` on ``(q1, q2)``."""
         return self.append(Operation("XX", (q1, q2), (theta,)))
 
     def cnot(self, control: int, target: int) -> "Circuit":
+        """Controlled-NOT with the given control and target qubits."""
         return self.append(Operation("CNOT", (control, target)))
 
     def cz(self, q1: int, q2: int) -> "Circuit":
+        """Controlled-Z gate on ``(q1, q2)``."""
         return self.append(Operation("CZ", (q1, q2)))
 
     def swap(self, q1: int, q2: int) -> "Circuit":
+        """SWAP gate exchanging qubits ``q1`` and ``q2``."""
         return self.append(Operation("SWAP", (q1, q2)))
 
     # -- structural queries --------------------------------------------------
@@ -255,4 +278,5 @@ class Circuit:
         return u
 
     def copy(self) -> "Circuit":
+        """Shallow copy with an independent operation list."""
         return Circuit(self.n_qubits, list(self.ops))

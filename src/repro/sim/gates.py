@@ -34,6 +34,11 @@ __all__ = [
     "phase_axis",
     "xx",
     "ms_gate",
+    "r_gate_batch",
+    "rx_batch",
+    "ry_batch",
+    "rz_batch",
+    "ms_gate_batch",
     "cnot",
     "cz",
     "swap",
@@ -100,6 +105,82 @@ def r_gate(theta: float, phi: float) -> np.ndarray:
         ],
         dtype=complex,
     )
+
+
+# ---------------------------------------------------------------------------
+# Batched gate construction.
+#
+# The batched builders accept arrays of angles and return a stack of gate
+# matrices of shape ``(B, 2^k, 2^k)``.  They exist for the vectorized
+# simulation paths (noise-realization batching in the virtual machine, the
+# Fig. 3 sequence sweep), where constructing B small matrices one Python
+# call at a time dominates the runtime.
+# ---------------------------------------------------------------------------
+
+
+def _broadcast_params(*params: object) -> tuple[np.ndarray, ...]:
+    """Broadcast scalar/array gate parameters to a common batch shape."""
+    arrays = [np.asarray(p, dtype=float) for p in params]
+    first = arrays[0].shape
+    if all(a.ndim == 1 for a in arrays) and all(
+        a.shape == first for a in arrays
+    ):
+        return tuple(arrays)
+    arrays = np.broadcast_arrays(*arrays)
+    if arrays[0].ndim > 1:
+        raise ValueError("batched gate parameters must be scalars or 1-D")
+    return tuple(np.atleast_1d(a) for a in arrays)
+
+
+def r_gate_batch(theta: object, phi: object) -> np.ndarray:
+    """Batched ``R(theta, phi)``: returns a ``(B, 2, 2)`` stack."""
+    theta_a, phi_a = _broadcast_params(theta, phi)
+    c = np.cos(theta_a / 2.0)
+    s = np.sin(theta_a / 2.0)
+    out = np.zeros((theta_a.size, 2, 2), dtype=complex)
+    out[:, 0, 0] = c
+    out[:, 0, 1] = -1.0j * np.exp(-1.0j * phi_a) * s
+    out[:, 1, 0] = -1.0j * np.exp(1.0j * phi_a) * s
+    out[:, 1, 1] = c
+    return out
+
+
+def rx_batch(theta: object) -> np.ndarray:
+    """Batched ``RX(theta)``: returns a ``(B, 2, 2)`` stack."""
+    return r_gate_batch(theta, 0.0)
+
+
+def ry_batch(theta: object) -> np.ndarray:
+    """Batched ``RY(theta)``: returns a ``(B, 2, 2)`` stack."""
+    return r_gate_batch(theta, math.pi / 2.0)
+
+
+def rz_batch(theta: object) -> np.ndarray:
+    """Batched ``RZ(theta)``: returns a ``(B, 2, 2)`` stack."""
+    (theta_a,) = _broadcast_params(theta)
+    out = np.zeros((theta_a.size, 2, 2), dtype=complex)
+    out[:, 0, 0] = np.exp(-0.5j * theta_a)
+    out[:, 1, 1] = np.exp(0.5j * theta_a)
+    return out
+
+
+def ms_gate_batch(theta: object, phi1: object, phi2: object) -> np.ndarray:
+    """Batched ``M(theta, phi1, phi2)``: returns a ``(B, 4, 4)`` stack."""
+    theta_a, phi1_a, phi2_a = _broadcast_params(theta, phi1, phi2)
+    c = np.cos(theta_a / 2.0)
+    s = np.sin(theta_a / 2.0)
+    e_pp = np.exp(-1.0j * (phi1_a + phi2_a))
+    e_pm = np.exp(-1.0j * (phi1_a - phi2_a))
+    out = np.zeros((theta_a.size, 4, 4), dtype=complex)
+    out[:, 0, 0] = c
+    out[:, 0, 3] = -1.0j * e_pp * s
+    out[:, 1, 1] = c
+    out[:, 1, 2] = -1.0j * e_pm * s
+    out[:, 2, 1] = -1.0j * np.conj(e_pm) * s
+    out[:, 2, 2] = c
+    out[:, 3, 0] = -1.0j * np.conj(e_pp) * s
+    out[:, 3, 3] = c
+    return out
 
 
 # ---------------------------------------------------------------------------

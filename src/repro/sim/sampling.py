@@ -18,6 +18,8 @@ __all__ = [
     "counts_to_probs",
     "match_fraction",
     "sample_bernoulli_counts",
+    "sample_bernoulli_counts_batch",
+    "sample_counts_from_probs",
     "marginal_counts",
     "bitstring_str",
     "bitstring_from_str",
@@ -81,6 +83,61 @@ def sample_bernoulli_counts(
         other = mismatch_state if mismatch_state is not None else expected ^ 1
         counts[other] = counts.get(other, 0) + (shots - matches)
     return counts
+
+
+def sample_bernoulli_counts_batch(
+    p_matches: np.ndarray,
+    expected: int,
+    shots_per_group: np.ndarray,
+    rng: np.random.Generator,
+    mismatch_state: int | None = None,
+) -> Counts:
+    """Batched :func:`sample_bernoulli_counts` over noise-realization groups.
+
+    Draws every group's binomial in a single vectorized call — the shot
+    groups all target the same ``expected`` bitstring, so their counts
+    merge into one map.  Equivalent in distribution to calling
+    :func:`sample_bernoulli_counts` per group and merging, but with one
+    RNG call instead of one per group.
+    """
+    p = np.asarray(p_matches, dtype=float)
+    shots = np.asarray(shots_per_group, dtype=np.int64)
+    if p.shape != shots.shape:
+        raise ValueError("p_matches and shots_per_group must align")
+    if np.any(shots <= 0):
+        raise ValueError("shots must be positive")
+    if np.any(p < -1e-9) or np.any(p > 1.0 + 1e-9):
+        raise ValueError("match probabilities outside [0, 1]")
+    p = np.clip(p, 0.0, 1.0)
+    matches = int(rng.binomial(shots, p).sum())
+    total = int(shots.sum())
+    counts: Counts = {}
+    if matches:
+        counts[expected] = matches
+    if matches < total:
+        other = mismatch_state if mismatch_state is not None else expected ^ 1
+        counts[other] = counts.get(other, 0) + (total - matches)
+    return counts
+
+
+def sample_counts_from_probs(
+    probs: np.ndarray, shots: int, rng: np.random.Generator
+) -> Counts:
+    """Multinomial counts over a full probability vector, in one draw.
+
+    This replaces per-shot (or per-outcome ``choice``) sampling loops: one
+    ``Multinomial(shots, probs)`` draw allocates all shots across the 2^n
+    basis states at once.  Only nonzero-count outcomes appear in the map.
+    """
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    p = np.clip(np.asarray(probs, dtype=float), 0.0, None)
+    total = p.sum()
+    if total <= 0:
+        raise ValueError("probability vector sums to zero")
+    draws = rng.multinomial(shots, p / total)
+    hits = np.nonzero(draws)[0]
+    return {int(k): int(draws[k]) for k in hits}
 
 
 def marginal_counts(counts: Counts, qubits: list[int], n_qubits: int) -> Counts:

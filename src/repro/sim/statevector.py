@@ -17,12 +17,29 @@ from __future__ import annotations
 
 import numpy as np
 
-from .circuit import Circuit
+from . import gates
+from .circuit import Circuit, Operation
+from .sampling import Counts, sample_counts_from_probs
 
-__all__ = ["StatevectorSimulator", "zero_state", "simulate", "MAX_DENSE_QUBITS"]
+__all__ = [
+    "StatevectorSimulator",
+    "BatchedStatevectorSimulator",
+    "zero_state",
+    "simulate",
+    "circuits_aligned",
+    "batched_matrices",
+    "batched_matrices_from_params",
+    "MAX_DENSE_QUBITS",
+    "MAX_BATCH_AMPLITUDES",
+]
 
 #: Hard cap for dense simulation (2^22 amplitudes = 64 MiB of complex128).
 MAX_DENSE_QUBITS = 22
+
+#: Combined cap for *batched* dense simulation: ``batch * 2^n`` amplitudes
+#: (2^25 complex128 = 512 MiB).  Without this, realization batching would
+#: multiply the per-state cap by the batch size.
+MAX_BATCH_AMPLITUDES = 1 << 25
 
 
 def zero_state(n_qubits: int) -> np.ndarray:
@@ -112,13 +129,193 @@ class StatevectorSimulator:
         return rng.choice(len(probs), size=shots, p=probs)
 
     def sample_counts(self, shots: int, rng: np.random.Generator) -> dict[int, int]:
-        """Sample and aggregate outcomes into a ``{bitstring: count}`` map."""
-        outcomes = self.sample(shots, rng)
-        values, counts = np.unique(outcomes, return_counts=True)
-        return {int(v): int(c) for v, c in zip(values, counts)}
+        """Sample and aggregate outcomes into a ``{bitstring: count}`` map.
+
+        Uses a single multinomial draw over the probability vector instead
+        of materializing per-shot outcomes — O(2^n) work independent of the
+        shot count.
+        """
+        return sample_counts_from_probs(self.probabilities(), shots, rng)
 
 
 def simulate(circuit: Circuit) -> np.ndarray:
     """Convenience: run ``circuit`` from ``|0...0>`` and return the state."""
     sim = StatevectorSimulator(circuit.n_qubits)
     return sim.run(circuit)
+
+
+# ---------------------------------------------------------------------------
+# Batched simulation across noise realizations.
+# ---------------------------------------------------------------------------
+
+
+def circuits_aligned(circuits: list[Circuit]) -> bool:
+    """True if all circuits share one op skeleton (gate names and qubits).
+
+    Noise realizations of the same nominal circuit differ only in gate
+    *parameters*; their op lists align slot by slot, which lets the whole
+    batch evolve through one fused gate application per slot.
+    """
+    if not circuits:
+        return False
+    first = circuits[0]
+    for other in circuits[1:]:
+        if other.n_qubits != first.n_qubits or len(other.ops) != len(first.ops):
+            return False
+        for a, b in zip(first.ops, other.ops):
+            if a.gate != b.gate or a.qubits != b.qubits:
+                return False
+    return True
+
+
+def batched_matrices_from_params(gate: str, params: np.ndarray) -> np.ndarray:
+    """Gate matrices for one op slot from a ``(B, n_params)`` array.
+
+    Parameterized native gates (``MS``, ``R``, ``RX``, ``RY``, ``RZ``) are
+    constructed in one vectorized call; parameter-free gates broadcast a
+    single matrix across the batch.
+    """
+    n_batch = params.shape[0]
+    if gate == "MS":
+        return gates.ms_gate_batch(params[:, 0], params[:, 1], params[:, 2])
+    if gate == "R":
+        return gates.r_gate_batch(params[:, 0], params[:, 1])
+    if gate == "RX":
+        return gates.rx_batch(params[:, 0])
+    if gate == "RY":
+        return gates.ry_batch(params[:, 0])
+    if gate == "RZ":
+        return gates.rz_batch(params[:, 0])
+    fixed = {
+        "X": gates.X,
+        "Y": gates.Y,
+        "Z": gates.Z,
+        "H": gates.H,
+        "CNOT": gates.cnot(),
+        "CZ": gates.cz(),
+        "SWAP": gates.swap(),
+    }
+    if gate not in fixed:
+        raise ValueError(f"gate {gate!r} has no batched construction")
+    matrix = fixed[gate]
+    return np.broadcast_to(matrix, (n_batch,) + matrix.shape)
+
+
+def batched_matrices(ops: list[Operation]) -> np.ndarray:
+    """Gate matrices for one op slot across the batch, shape ``(B, d, d)``."""
+    params = np.array([op.params for op in ops], dtype=float).reshape(
+        len(ops), -1
+    )
+    return batched_matrices_from_params(ops[0].gate, params)
+
+
+class BatchedStatevectorSimulator:
+    """Evolves ``batch`` dense statevectors through aligned circuits at once.
+
+    Used for noise-realization batching: the B realized circuits of one
+    nominal circuit share an op skeleton, so each op slot applies a
+    ``(B, d, d)`` stack of gates to a ``(B, 2^n)`` state block with a single
+    einsum instead of B separate axis-shuffling gate applications.
+
+    Parameters
+    ----------
+    n_qubits:
+        Register width per batch entry.
+    batch:
+        Number of simultaneously evolved statevectors.
+    """
+
+    def __init__(self, n_qubits: int, batch: int):
+        if n_qubits < 1:
+            raise ValueError("need at least one qubit")
+        if n_qubits > MAX_DENSE_QUBITS:
+            raise ValueError(
+                f"{n_qubits} qubits exceeds dense limit of {MAX_DENSE_QUBITS}"
+            )
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        if batch * 2**n_qubits > MAX_BATCH_AMPLITUDES:
+            raise ValueError(
+                f"batch of {batch} states on {n_qubits} qubits exceeds the "
+                f"combined amplitude cap (2^{MAX_BATCH_AMPLITUDES.bit_length() - 1})"
+            )
+        self.n_qubits = n_qubits
+        self.batch = batch
+        self.states = np.zeros((batch, 2**n_qubits), dtype=complex)
+        self.states[:, 0] = 1.0
+        self._perm_cache: dict[tuple[int, ...], tuple[tuple[int, ...], tuple[int, ...]]] = {}
+
+    def _permutations(
+        self, qubits: tuple[int, ...]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Axis permutations pulling ``qubits`` to the front (and back)."""
+        cached = self._perm_cache.get(qubits)
+        if cached is None:
+            rest = [
+                1 + q for q in range(self.n_qubits) if q not in qubits
+            ]
+            forward = (0, *(1 + q for q in qubits), *rest)
+            inverse = tuple(int(np.argsort(forward)[i]) for i in range(len(forward)))
+            cached = (forward, inverse)
+            self._perm_cache[qubits] = cached
+        return cached
+
+    def apply_gates(self, us: np.ndarray, qubits: tuple[int, ...]) -> None:
+        """Apply per-batch-entry gates ``us`` (shape ``(B, d, d)``) in place."""
+        k = len(qubits)
+        if us.shape != (self.batch, 2**k, 2**k):
+            raise ValueError(
+                f"gate stack shape {us.shape} does not act on {k} qubits "
+                f"for batch {self.batch}"
+            )
+        n = self.n_qubits
+        forward, inverse = self._permutations(qubits)
+        psi = self.states.reshape((self.batch,) + (2,) * n)
+        psi = psi.transpose(forward)
+        shape = psi.shape
+        psi = psi.reshape(self.batch, 2**k, -1)
+        psi = np.matmul(us, psi)
+        psi = psi.reshape(shape).transpose(inverse)
+        self.states = np.ascontiguousarray(psi).reshape(self.batch, -1)
+
+    def run_aligned(self, circuits: list[Circuit]) -> np.ndarray:
+        """Evolve every batch entry through its circuit; returns the states.
+
+        The circuits must satisfy :func:`circuits_aligned` and match the
+        batch size.
+        """
+        if len(circuits) != self.batch:
+            raise ValueError(
+                f"{len(circuits)} circuits for a batch of {self.batch}"
+            )
+        if circuits[0].n_qubits != self.n_qubits:
+            raise ValueError(
+                f"circuits are on {circuits[0].n_qubits} qubits, "
+                f"simulator on {self.n_qubits}"
+            )
+        if not circuits_aligned(circuits):
+            raise ValueError("circuits do not share an op skeleton")
+        for slot in range(len(circuits[0].ops)):
+            ops = [c.ops[slot] for c in circuits]
+            self.apply_gates(batched_matrices(ops), ops[0].qubits)
+        return self.states
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities, shape ``(B, 2^n)``."""
+        return np.abs(self.states) ** 2
+
+    def probability_of(self, bitstring: int) -> np.ndarray:
+        """Per-batch-entry probability of one basis state, shape ``(B,)``."""
+        return np.abs(self.states[:, bitstring]) ** 2
+
+    def sample_counts_per_entry(
+        self, shots_per_entry: list[int], rng: np.random.Generator
+    ) -> list[Counts]:
+        """One multinomial counts map per batch entry."""
+        if len(shots_per_entry) != self.batch:
+            raise ValueError("need one shot count per batch entry")
+        probs = self.probabilities()
+        return [
+            sample_counts_from_probs(probs[b], shots, rng)
+            for b, shots in enumerate(shots_per_entry)
+        ]

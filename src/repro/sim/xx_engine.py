@@ -34,7 +34,13 @@ import numpy as np
 
 from .circuit import Circuit
 
-__all__ = ["XXCircuitEvaluator", "CouplingTerms"]
+__all__ = [
+    "ms_axis_sign",
+    "XXCircuitEvaluator",
+    "XXBatchEvaluator",
+    "CouplingTerms",
+    "batch_amplitudes_from_terms",
+]
 
 
 @dataclass
@@ -58,18 +64,34 @@ class CouplingTerms:
     linear_angles: dict[int, float] = field(default_factory=dict)
 
     def add_edge(self, i: int, j: int, theta: float) -> None:
+        """Accumulate an XX rotation of ``theta`` on the pair ``{i, j}``."""
         key = frozenset((i, j))
         self.edge_angles[key] = self.edge_angles.get(key, 0.0) + theta
 
     def add_linear(self, q: int, theta: float) -> None:
+        """Accumulate an RX rotation of ``theta`` on qubit ``q``."""
         self.linear_angles[q] = self.linear_angles.get(q, 0.0) + theta
 
     def touched_qubits(self) -> set[int]:
+        """All qubits appearing in edge or linear terms."""
         out: set[int] = set()
         for e in self.edge_angles:
             out.update(e)
         out.update(self.linear_angles)
         return out
+
+
+def ms_axis_sign(phi1, phi2):
+    """Sign of the XX angle for pi-multiple MS drive phases (elementwise).
+
+    The MS axis is ``(+-X) x (+-X)``: the angle flips sign when exactly
+    one phase is an odd multiple of pi.  Single source of the sign
+    convention shared by term extraction and the batched machine path.
+    """
+    return (-1.0) ** (
+        np.rint(np.asarray(phi1) / math.pi)
+        + np.rint(np.asarray(phi2) / math.pi)
+    )
 
 
 def _extract_terms(circuit: Circuit) -> CouplingTerms:
@@ -84,10 +106,9 @@ def _extract_terms(circuit: Circuit) -> CouplingTerms:
                 raise ValueError(
                     "MS gate with non-multiple-of-pi phases is not X-diagonal"
                 )
-            # axis (+-X) x (+-X): sign flips theta when exactly one phase is
-            # an odd multiple of pi.
-            sign = (-1.0) ** (round(phi1 / math.pi) + round(phi2 / math.pi))
-            terms.add_edge(op.qubits[0], op.qubits[1], sign * theta)
+            terms.add_edge(
+                op.qubits[0], op.qubits[1], float(ms_axis_sign(phi1, phi2)) * theta
+            )
         elif op.gate == "RX":
             terms.add_linear(op.qubits[0], op.params[0])
         elif op.gate == "X":
@@ -142,6 +163,46 @@ def _spin_table(m: int) -> np.ndarray:
         if len(big) > 3:
             del _SPIN_TABLE_CACHE[min(big)]
     return _SPIN_TABLE_CACHE[m]
+
+
+#: Spin-table blocks larger than this many (spin, edge) entries are
+#: processed in chunks to bound transient memory.
+_CHUNK_SPINS = 1 << 13
+
+
+def _component_amplitudes_vectorized(
+    spins: np.ndarray,
+    weight: float,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    thetas: np.ndarray,
+    lin_idx: np.ndarray,
+    lin_thetas: np.ndarray,
+    z_idx: np.ndarray,
+) -> np.ndarray:
+    """Batched component sum ``weight * sum_s chi_z(s) e^{i phase_g(s)}``.
+
+    ``thetas``/``lin_thetas`` carry one row per batch entry (noise
+    realization); the spin table is shared, so the per-edge products are
+    computed once and contracted against every realization's angles in a
+    single matmul.  Chunked over spins to bound memory on 16-qubit
+    components.  Returns one complex amplitude per batch row.
+    """
+    n_batch = thetas.shape[0]
+    amps = np.zeros(n_batch, dtype=complex)
+    for start in range(0, spins.shape[0], _CHUNK_SPINS):
+        block = spins[start : start + _CHUNK_SPINS]
+        # (S, E) pair products contracted against (G, E) angles -> (G, S).
+        pair = (block[:, i_idx] * block[:, j_idx]).astype(np.float64)
+        phase = (-0.5 * thetas) @ pair.T
+        if lin_idx.size:
+            phase += (-0.5 * lin_thetas) @ block[:, lin_idx].T.astype(np.float64)
+        if z_idx.size:
+            chi = np.prod(block[:, z_idx], axis=1).astype(np.float64)
+        else:
+            chi = np.ones(block.shape[0])
+        amps += np.exp(1.0j * phase) @ chi
+    return weight * amps
 
 
 class XXCircuitEvaluator:
@@ -232,7 +293,6 @@ class XXCircuitEvaluator:
             for q, theta in self.terms.linear_angles.items()
             if q in local
         ]
-        z_local = [z_bits[q] for q in comp]
         if m <= self.max_exact_qubits:
             spins = _spin_table(m)
             weight = 1.0 / 2**m
@@ -241,15 +301,163 @@ class XXCircuitEvaluator:
                 np.array([-1, 1], dtype=np.int8), size=(self.mc_samples, m)
             )
             weight = 1.0 / self.mc_samples
-        phase = np.zeros(spins.shape[0], dtype=np.float64)
-        for i, j, theta in edges:
-            phase += (-0.5 * theta) * (
-                spins[:, i].astype(np.float64) * spins[:, j].astype(np.float64)
+        amps = _component_amplitudes_vectorized(
+            spins,
+            weight,
+            np.array([i for i, _, _ in edges], dtype=np.intp),
+            np.array([j for _, j, _ in edges], dtype=np.intp),
+            np.array([[theta for _, _, theta in edges]], dtype=np.float64),
+            np.array([i for i, _ in linear], dtype=np.intp),
+            np.array([[theta for _, theta in linear]], dtype=np.float64),
+            np.array(
+                [k for k, q in enumerate(comp) if z_bits[q]], dtype=np.intp
+            ),
+        )
+        return complex(amps[0])
+
+
+def batch_amplitudes_from_terms(
+    n_qubits: int,
+    edge_angles: dict[frozenset[int], np.ndarray],
+    linear_angles: dict[int, np.ndarray],
+    bitstring: int,
+    max_exact_qubits: int = 20,
+) -> np.ndarray:
+    """Per-realization amplitudes from array-valued coupling terms.
+
+    The terms carry one accumulated angle *per noise realization* (shape
+    ``(G,)`` values in both dicts).  Every coupling-graph component is
+    summed once over its shared spin table, contracting all G realization
+    rows in a single matmul — this is the batched spin-table evaluation
+    behind the virtual machine's shot-batched XX path.
+
+    Raises ``ValueError`` when a component exceeds ``max_exact_qubits``
+    (callers fall back to per-realization Monte-Carlo evaluation).
+    """
+    if not 0 <= bitstring < 2**n_qubits:
+        raise ValueError("bitstring out of range")
+    touched: set[int] = set()
+    for e in edge_angles:
+        touched.update(e)
+    touched.update(linear_angles)
+    z_bits = [(bitstring >> (n_qubits - 1 - q)) & 1 for q in range(n_qubits)]
+    sizes = {len(v) for v in edge_angles.values()}
+    sizes.update(len(v) for v in linear_angles.values())
+    if len(sizes) != 1:
+        raise ValueError("term arrays must share one realization count")
+    n_batch = sizes.pop()
+    for q in range(n_qubits):
+        if q not in touched and z_bits[q]:
+            return np.zeros(n_batch, dtype=complex)
+    components = _connected_components(
+        touched, {e: 0.0 for e in edge_angles}
+    )
+    if any(len(c) > max_exact_qubits for c in components):
+        raise ValueError(
+            "component exceeds the exact-summation limit; "
+            "use per-realization Monte-Carlo evaluation"
+        )
+    amps = np.ones(n_batch, dtype=complex)
+    for comp in components:
+        m = len(comp)
+        local = {q: k for k, q in enumerate(comp)}
+        edge_keys = [e for e in edge_angles if min(e) in local]
+        lin_keys = [q for q in linear_angles if q in local]
+        thetas = (
+            np.stack([edge_angles[e] for e in edge_keys], axis=1)
+            if edge_keys
+            else np.zeros((n_batch, 0))
+        )
+        lin_thetas = (
+            np.stack([linear_angles[q] for q in lin_keys], axis=1)
+            if lin_keys
+            else np.zeros((n_batch, 0))
+        )
+        amps *= _component_amplitudes_vectorized(
+            _spin_table(m),
+            1.0 / 2**m,
+            np.array([local[min(e)] for e in edge_keys], dtype=np.intp),
+            np.array([local[max(e)] for e in edge_keys], dtype=np.intp),
+            thetas,
+            np.array([local[q] for q in lin_keys], dtype=np.intp),
+            lin_thetas,
+            np.array(
+                [k for k, q in enumerate(comp) if z_bits[q]], dtype=np.intp
+            ),
+        )
+    return amps
+
+
+class XXBatchEvaluator:
+    """Batched exact evaluation of noise realizations of one XX circuit.
+
+    The G realized circuits of a nominal XX-only test share their coupling
+    structure (same edges, same touched qubits) and differ only in
+    accumulated angles.  This evaluator extracts each realization's
+    :class:`CouplingTerms` and sums every coupling-graph component once
+    over the shared spin table, contracting all G angle rows in a single
+    matmul — the per-group work of G separate
+    :class:`XXCircuitEvaluator` runs collapses into one vectorized pass.
+
+    Raises ``ValueError`` if the circuits do not share coupling structure
+    (callers fall back to per-circuit evaluation) or if a component
+    exceeds ``max_exact_qubits`` (the Monte-Carlo branch stays
+    per-circuit).
+    """
+
+    def __init__(self, circuits: list[Circuit], max_exact_qubits: int = 20):
+        if not circuits:
+            raise ValueError("need at least one circuit")
+        for circuit in circuits:
+            if not circuit.is_xx_only():
+                raise ValueError(
+                    "circuit contains gates not diagonal in the X basis"
+                )
+        self.n_qubits = circuits[0].n_qubits
+        if any(c.n_qubits != self.n_qubits for c in circuits):
+            raise ValueError("circuits act on different register widths")
+        self.terms_list = [_extract_terms(c) for c in circuits]
+        first = self.terms_list[0]
+        self._edge_keys = sorted(first.edge_angles, key=sorted)
+        self._linear_keys = sorted(first.linear_angles)
+        for terms in self.terms_list[1:]:
+            if (
+                set(terms.edge_angles) != set(first.edge_angles)
+                or set(terms.linear_angles) != set(first.linear_angles)
+            ):
+                raise ValueError("realizations do not share coupling structure")
+        self.max_exact_qubits = max_exact_qubits
+        self.components = _connected_components(
+            first.touched_qubits(), first.edge_angles
+        )
+        if any(len(c) > max_exact_qubits for c in self.components):
+            raise ValueError(
+                "component exceeds the exact-summation limit; "
+                "use per-circuit Monte-Carlo evaluation"
             )
-        for i, theta in linear:
-            phase += (-0.5 * theta) * spins[:, i].astype(np.float64)
-        chi = np.ones(spins.shape[0], dtype=np.float64)
-        for i, z in enumerate(z_local):
-            if z:
-                chi *= spins[:, i].astype(np.float64)
-        return complex(weight * np.sum(chi * np.exp(1.0j * phase)))
+
+    def amplitudes(self, bitstring: int) -> np.ndarray:
+        """Per-realization amplitudes ``<z|U_g|0...0>``, up to global phase."""
+        edge_angles = {
+            e: np.array(
+                [terms.edge_angles[e] for terms in self.terms_list]
+            )
+            for e in self._edge_keys
+        }
+        linear_angles = {
+            q: np.array(
+                [terms.linear_angles[q] for terms in self.terms_list]
+            )
+            for q in self._linear_keys
+        }
+        return batch_amplitudes_from_terms(
+            self.n_qubits,
+            edge_angles,
+            linear_angles,
+            bitstring,
+            max_exact_qubits=self.max_exact_qubits,
+        )
+
+    def probabilities_of(self, bitstring: int) -> np.ndarray:
+        """Per-realization probabilities of ``bitstring``, clipped to [0, 1]."""
+        return np.clip(np.abs(self.amplitudes(bitstring)) ** 2, 0.0, 1.0)

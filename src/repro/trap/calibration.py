@@ -44,19 +44,23 @@ class CalibrationState:
     # -- access -----------------------------------------------------------------
 
     def pairs(self) -> list[Pair]:
+        """All couplings of the machine, in canonical order."""
         return sorted(self._under_rotation, key=sorted)
 
     def under_rotation(self, pair: Pair | tuple[int, int]) -> float:
+        """Current fractional under-rotation of one coupling."""
         return self._under_rotation[self._key(pair)]
 
     def set_under_rotation(
         self, pair: Pair | tuple[int, int], value: float
     ) -> None:
+        """Pin one coupling's under-rotation to ``value``."""
         if not -1.0 <= value <= 1.0:
             raise ValueError("under_rotation outside [-1, 1]")
         self._under_rotation[self._key(pair)] = value
 
     def inject_fault(self, fault: CouplingFault) -> None:
+        """Apply a fault's under-rotation to its coupling."""
         self.set_under_rotation(fault.pair, fault.under_rotation)
 
     def load_snapshot(self, snapshot: dict[Pair, float]) -> None:

@@ -30,15 +30,47 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..noise.models import GateNoiseModel, NoiseParameters
-from ..sim.circuit import Circuit, Operation
-from ..sim.sampling import Counts, merge_counts, sample_bernoulli_counts
-from ..sim.statevector import MAX_DENSE_QUBITS, StatevectorSimulator
-from ..sim.xx_engine import XXCircuitEvaluator
+from ..sim.circuit import Circuit, Operation, is_multiple_of_pi
+from ..sim.sampling import (
+    Counts,
+    merge_counts,
+    sample_bernoulli_counts,
+    sample_bernoulli_counts_batch,
+    sample_counts_from_probs,
+)
+from ..sim.statevector import (
+    MAX_BATCH_AMPLITUDES,
+    MAX_DENSE_QUBITS,
+    BatchedStatevectorSimulator,
+    StatevectorSimulator,
+    batched_matrices_from_params,
+)
+from ..sim.xx_engine import (
+    XXCircuitEvaluator,
+    batch_amplitudes_from_terms,
+    ms_axis_sign,
+)
 from .calibration import CalibrationState
 from .faults import CouplingFault, Pair
 from .timing import TimingModel
 
-__all__ = ["MachineStats", "VirtualIonTrap"]
+__all__ = ["MachineStats", "RealizedSlot", "VirtualIonTrap"]
+
+
+@dataclass(frozen=True)
+class RealizedSlot:
+    """One gate slot of a noise-realized circuit batch.
+
+    ``params`` carries one parameter row per noise realization (shape
+    ``(n_batch, n_params)``); the gate name and targets are shared by the
+    whole batch.  Slot lists are the batched counterpart of a realized
+    :class:`~repro.sim.circuit.Circuit` — they skip per-realization
+    ``Operation`` construction entirely.
+    """
+
+    gate: str
+    qubits: tuple[int, ...]
+    params: np.ndarray
 
 
 @dataclass
@@ -51,6 +83,7 @@ class MachineStats:
     quantum_seconds: float = 0.0
 
     def reset(self) -> None:
+        """Zero all counters."""
         self.circuit_runs = 0
         self.shots = 0
         self.two_qubit_gates = 0
@@ -76,6 +109,12 @@ class VirtualIonTrap:
     max_exact_qubits:
         Largest coupling-graph component evaluated exactly by the XX
         engine; bigger components use Monte-Carlo amplitude estimation.
+    batched:
+        Evaluate all noise-realization groups of a ``run``/``run_match``
+        call in one vectorized pass (batched statevector / batched XX
+        sums, single multi-group binomial draw).  ``False`` selects the
+        per-realization reference path; results are statistically
+        equivalent but consume the RNG stream in a different order.
     """
 
     n_qubits: int
@@ -83,6 +122,7 @@ class VirtualIonTrap:
     seed: int = 0
     noise_realizations: int = 8
     max_exact_qubits: int = 20
+    batched: bool = True
     timing: TimingModel = field(default_factory=TimingModel)
 
     def __post_init__(self) -> None:
@@ -99,43 +139,66 @@ class VirtualIonTrap:
     # -- fault injection ----------------------------------------------------------
 
     def inject_fault(self, fault: CouplingFault) -> None:
+        """Install a coupling fault into the calibration state."""
         self.calibration.inject_fault(fault)
 
     def set_under_rotation(self, pair: Pair | tuple[int, int], value: float) -> None:
+        """Pin one coupling's under-rotation to ``value``."""
         self.calibration.set_under_rotation(pair, value)
 
     def recalibrate(self, pair: Pair | tuple[int, int] | None = None) -> None:
+        """Re-zero one coupling's miscalibration (or all of them)."""
         self.calibration.recalibrate(pair)
 
     # -- execution ------------------------------------------------------------------
 
-    def run(self, circuit: Circuit, shots: int) -> Counts:
+    def run(
+        self, circuit: Circuit, shots: int, realizations: int | None = None
+    ) -> Counts:
         """Execute a nominal circuit, returning full measurement counts.
 
         Uses the dense simulator on the compacted register of touched
         qubits, so it requires that sub-register to fit the dense limit.
+        ``realizations`` overrides the machine's noise-realization count
+        for this call (shot-batching granularity).
         """
         if shots < 1:
             raise ValueError("shots must be positive")
         self._account(circuit, shots)
-        counts_parts: list[Counts] = []
-        for group_shots in self._shot_groups(shots):
-            realized = self._realize(circuit)
-            counts_parts.append(self._run_dense(realized, group_shots))
-        counts = merge_counts(*counts_parts)
+        groups = self._shot_groups(shots, realizations)
+        if self.batched:
+            slots = self._realize_slots(circuit, len(groups))
+            counts = self._run_dense_slots(slots, groups)
+        else:
+            counts = merge_counts(
+                *(
+                    self._run_dense(self._realize(circuit), group_shots)
+                    for group_shots in groups
+                )
+            )
         if self.noise.spam is not None:
             counts = self.noise.spam.apply_to_counts(
                 counts, self.n_qubits, self.rng
             )
         return counts
 
-    def run_match(self, circuit: Circuit, expected: int, shots: int) -> Counts:
+    def run_match(
+        self,
+        circuit: Circuit,
+        expected: int,
+        shots: int,
+        realizations: int | None = None,
+    ) -> Counts:
         """Execute a nominal circuit, tracking only the expected bitstring.
 
         This is the fast path for single-output tests: XX-only noisy
         realizations are evaluated exactly per coupling-graph component,
-        which keeps 32-qubit class tests cheap.  Returned counts lump all
-        mismatches into a single placeholder state.
+        which keeps 32-qubit class tests cheap.  In batched mode every
+        realization group's match probability is computed in one
+        vectorized pass and all groups' shots are drawn with a single
+        multi-group binomial call.  Returned counts lump all mismatches
+        into a single placeholder state.  ``realizations`` overrides the
+        machine's noise-realization count for this call.
         """
         if shots < 1:
             raise ValueError("shots must be positive")
@@ -145,31 +208,283 @@ class VirtualIonTrap:
             if self.noise.spam is not None
             else 1.0
         )
-        counts_parts: list[Counts] = []
-        for group_shots in self._shot_groups(shots):
-            realized = self._realize(circuit)
-            if realized.is_xx_only():
-                evaluator = XXCircuitEvaluator(
-                    realized,
-                    max_exact_qubits=self.max_exact_qubits,
-                    rng=self.rng,
+        groups = self._shot_groups(shots, realizations)
+        if not self.batched:
+            counts_parts: list[Counts] = []
+            for group_shots in groups:
+                realized = self._realize(circuit)
+                p_match = self._match_probability(realized, expected)
+                counts_parts.append(
+                    sample_bernoulli_counts(
+                        p_match * spam_factor, expected, group_shots, self.rng
+                    )
                 )
-                p_match = evaluator.probability_of(expected)
-            else:
-                p_match = self._dense_match_probability(realized, expected)
-            counts_parts.append(
-                sample_bernoulli_counts(
-                    p_match * spam_factor, expected, group_shots, self.rng
-                )
-            )
-        return merge_counts(*counts_parts)
+            return merge_counts(*counts_parts)
+        slots = self._realize_slots(circuit, len(groups))
+        if slots:
+            p_match_all = self._match_probabilities_slots(slots, expected)
+        else:
+            p_match_all = np.full(len(groups), 1.0 if expected == 0 else 0.0)
+        return sample_bernoulli_counts_batch(
+            p_match_all * spam_factor,
+            expected,
+            np.asarray(groups, dtype=np.int64),
+            self.rng,
+        )
 
     # -- internals ---------------------------------------------------------------------
 
-    def _shot_groups(self, shots: int) -> list[int]:
-        groups = min(self.noise_realizations, shots)
+    def _shot_groups(
+        self, shots: int, realizations: int | None = None
+    ) -> list[int]:
+        wanted = realizations if realizations is not None else self.noise_realizations
+        if wanted < 1:
+            raise ValueError("need at least one noise realization")
+        groups = min(wanted, shots)
         base, extra = divmod(shots, groups)
         return [base + (1 if g < extra else 0) for g in range(groups)]
+
+    def _match_probability(self, realized: Circuit, expected: int) -> float:
+        """Expected-bitstring probability of one realized circuit."""
+        if realized.is_xx_only():
+            evaluator = XXCircuitEvaluator(
+                realized,
+                max_exact_qubits=self.max_exact_qubits,
+                rng=self.rng,
+            )
+            return evaluator.probability_of(expected)
+        return self._dense_match_probability(realized, expected)
+
+    # -- batched (slot-based) realization and evaluation ---------------------------
+
+    def _realize_slots(
+        self, circuit: Circuit, n_batch: int
+    ) -> list[RealizedSlot]:
+        """Realize ``n_batch`` noisy copies of a nominal circuit as slots.
+
+        The vectorized counterpart of calling :meth:`_realize` once per
+        noise-realization group: each slot draws its per-realization noise
+        parameters in one RNG call, and no per-realization ``Operation``
+        objects are built.  Clock semantics match the sequential path —
+        realization g starts where realization g-1 ended.
+        """
+        gate_dt = self.timing.gate_time(self.n_qubits)
+        n_ms = sum(1 for op in circuit.ops if op.gate in ("MS", "XX"))
+        start = self._clock + np.arange(n_batch) * (n_ms * gate_dt)
+        p_odd = self.noise.residual_odd_population
+        # Block draws: every MS slot's amplitude noise comes from one RNG
+        # call, every residual kick from another — circuit depth adds
+        # array rows, not Python calls.
+        ms_specs: list[tuple[int, int, float, float, float]] = []
+        for op in circuit.ops:
+            if op.gate in ("MS", "XX"):
+                q1, q2 = op.qubits
+                phase_offset = op.params[1] if op.gate == "MS" else 0.0
+                ms_specs.append(
+                    (
+                        q1,
+                        q2,
+                        op.params[0],
+                        self.calibration.under_rotation((q1, q2)),
+                        phase_offset,
+                    )
+                )
+        ms_params = None
+        if n_ms:
+            ts_block = start[None, :] + np.arange(n_ms)[:, None] * gate_dt
+            ms_params = self.noise_model.noisy_ms_params_block(
+                ms_specs, ts_block
+            )
+        kick_params = None
+        if n_ms and p_odd > 0:
+            kick_params = self.noise_model.residual_kick_params_block(
+                2 * n_ms, n_batch
+            )
+        slots: list[RealizedSlot] = []
+        k_ms = 0
+        for op in circuit.ops:
+            if op.gate in ("MS", "XX"):
+                q1, q2 = op.qubits
+                slots.append(
+                    RealizedSlot("MS", (q1, q2), ms_params[k_ms])
+                )
+                if kick_params is not None:
+                    for j, q in enumerate((q1, q2)):
+                        slots.append(
+                            RealizedSlot("R", (q,), kick_params[2 * k_ms + j])
+                        )
+                k_ms += 1
+            elif op.gate == "R":
+                ts = start + k_ms * gate_dt
+                slots.append(
+                    RealizedSlot(
+                        "R",
+                        op.qubits,
+                        self.noise_model.noisy_r_params(
+                            op.qubits[0], op.params[0], op.params[1], ts
+                        ),
+                    )
+                )
+            else:
+                params = np.broadcast_to(
+                    np.array(op.params, dtype=float),
+                    (n_batch, len(op.params)),
+                )
+                slots.append(RealizedSlot(op.gate, op.qubits, params))
+        self._clock += n_batch * n_ms * gate_dt
+        return slots
+
+    @staticmethod
+    def _slots_xx_only(slots: list[RealizedSlot]) -> bool:
+        """True if every realized slot is diagonal in the X basis."""
+        for slot in slots:
+            if slot.gate in ("XX", "RX", "X"):
+                continue
+            if slot.gate == "MS":
+                if np.all(is_multiple_of_pi(slot.params[:, 1:])):
+                    continue
+            return False
+        return True
+
+    def _slots_to_circuits(self, slots: list[RealizedSlot]) -> list[Circuit]:
+        """Materialize per-realization circuits (slow fallback path)."""
+        n_batch = slots[0].params.shape[0] if slots else 1
+        circuits = []
+        for g in range(n_batch):
+            circuit = Circuit(self.n_qubits)
+            for slot in slots:
+                circuit.append(
+                    Operation(slot.gate, slot.qubits, tuple(slot.params[g]))
+                )
+            circuits.append(circuit)
+        return circuits
+
+    def _match_probabilities_slots(
+        self, slots: list[RealizedSlot], expected: int
+    ) -> np.ndarray:
+        """Match probabilities for all realization groups, vectorized."""
+        if self._slots_xx_only(slots):
+            edge_angles: dict[Pair, np.ndarray] = {}
+            linear_angles: dict[int, np.ndarray] = {}
+            for slot in slots:
+                if slot.gate == "MS":
+                    signs = ms_axis_sign(slot.params[:, 1], slot.params[:, 2])
+                    key = frozenset(slot.qubits)
+                    theta = signs * slot.params[:, 0]
+                    edge_angles[key] = edge_angles.get(key, 0.0) + theta
+                elif slot.gate == "XX":
+                    key = frozenset(slot.qubits)
+                    edge_angles[key] = (
+                        edge_angles.get(key, 0.0) + slot.params[:, 0]
+                    )
+                elif slot.gate == "RX":
+                    q = slot.qubits[0]
+                    linear_angles[q] = (
+                        linear_angles.get(q, 0.0) + slot.params[:, 0]
+                    )
+                elif slot.gate == "X":
+                    q = slot.qubits[0]
+                    linear_angles[q] = linear_angles.get(
+                        q, np.zeros(slot.params.shape[0])
+                    ) + math.pi
+            try:
+                amps = batch_amplitudes_from_terms(
+                    self.n_qubits,
+                    edge_angles,
+                    linear_angles,
+                    expected,
+                    max_exact_qubits=self.max_exact_qubits,
+                )
+                return np.clip(np.abs(amps) ** 2, 0.0, 1.0)
+            except ValueError:
+                # Oversized component: per-realization Monte-Carlo fallback.
+                pass
+            return np.array(
+                [
+                    self._match_probability(c, expected)
+                    for c in self._slots_to_circuits(slots)
+                ]
+            )
+        return self._dense_match_probabilities_slots(slots, expected)
+
+    def _dense_probabilities_slots(
+        self, slots: list[RealizedSlot]
+    ) -> tuple[BatchedStatevectorSimulator, list[int]]:
+        """Batched dense evolution of slots on the compacted register.
+
+        Returns the evolved batched simulator plus the touched-qubit
+        mapping (callers query one column or the full distribution).
+        """
+        touched = sorted({q for slot in slots for q in slot.qubits})
+        if len(touched) > MAX_DENSE_QUBITS:
+            raise ValueError(
+                f"circuit touches {len(touched)} qubits; run_match handles "
+                "larger XX-only tests"
+            )
+        n_batch = slots[0].params.shape[0]
+        index = {q: k for k, q in enumerate(touched)}
+        sim = BatchedStatevectorSimulator(len(touched), n_batch)
+        for slot, us in zip(slots, _slot_matrix_table(slots)):
+            sim.apply_gates(us, tuple(index[q] for q in slot.qubits))
+        return sim, touched
+
+    def _dense_match_probabilities_slots(
+        self, slots: list[RealizedSlot], expected: int
+    ) -> np.ndarray:
+        """Batched dense match probabilities over all realization groups."""
+        n_batch = slots[0].params.shape[0] if slots else 1
+        touched = {q for slot in slots for q in slot.qubits}
+        for q in range(self.n_qubits):
+            if q not in touched:
+                bit = (expected >> (self.n_qubits - 1 - q)) & 1
+                if bit:
+                    return np.zeros(n_batch)
+        if not touched:
+            return np.ones(n_batch)
+        if n_batch * 2 ** len(touched) > MAX_BATCH_AMPLITUDES:
+            # Near the dense limit the realization batch would multiply
+            # the memory cap; evaluate the groups sequentially instead.
+            return np.array(
+                [
+                    self._dense_match_probability(c, expected)
+                    for c in self._slots_to_circuits(slots)
+                ]
+            )
+        sim, mapping = self._dense_probabilities_slots(slots)
+        sub_expected = 0
+        for q in mapping:
+            bit = (expected >> (self.n_qubits - 1 - q)) & 1
+            sub_expected = (sub_expected << 1) | bit
+        return sim.probability_of(sub_expected)
+
+    def _run_dense_slots(
+        self, slots: list[RealizedSlot], groups: list[int]
+    ) -> Counts:
+        """Full-counts dense execution of all realization groups at once."""
+        if not slots or not {q for slot in slots for q in slot.qubits}:
+            return {0: sum(groups)}
+        touched_count = len({q for slot in slots for q in slot.qubits})
+        if len(groups) * 2**touched_count > MAX_BATCH_AMPLITUDES:
+            # Sequential fallback near the dense limit (see match path).
+            return merge_counts(
+                *(
+                    self._run_dense(c, group_shots)
+                    for c, group_shots in zip(
+                        self._slots_to_circuits(slots), groups
+                    )
+                )
+            )
+        sim, touched = self._dense_probabilities_slots(slots)
+        probs = sim.probabilities()
+        counts_parts = [
+            _expand_counts(
+                sample_counts_from_probs(probs[g], group_shots, self.rng),
+                touched,
+                self.n_qubits,
+            )
+            for g, group_shots in enumerate(groups)
+        ]
+        return merge_counts(*counts_parts)
 
     def _realize(self, circuit: Circuit) -> Circuit:
         """Apply calibration errors and noise to a nominal circuit."""
@@ -249,6 +564,32 @@ class VirtualIonTrap:
         self.stats.quantum_seconds += self.timing.circuit_run_time(
             n2q, self.n_qubits, shots
         )
+
+
+def _slot_matrix_table(slots: list[RealizedSlot]) -> list[np.ndarray]:
+    """Per-slot gate-matrix stacks, built with one call per gate kind.
+
+    All MS slots of a circuit (and likewise all R slots) are constructed
+    in a single batched-builder call over the concatenated parameter rows,
+    then split back into program order — circuit depth adds rows to two
+    vectorized calls instead of one builder call per slot.
+    """
+    mats: list[np.ndarray | None] = [None] * len(slots)
+    for gate in ("MS", "R"):
+        idx = [i for i, slot in enumerate(slots) if slot.gate == gate]
+        if not idx:
+            continue
+        n_batch = slots[idx[0]].params.shape[0]
+        params = np.concatenate([slots[i].params for i in idx], axis=0)
+        stack = batched_matrices_from_params(gate, params)
+        dim = stack.shape[-1]
+        stack = stack.reshape(len(idx), n_batch, dim, dim)
+        for j, i in enumerate(idx):
+            mats[i] = stack[j]
+    for i, slot in enumerate(slots):
+        if mats[i] is None:
+            mats[i] = batched_matrices_from_params(slot.gate, slot.params)
+    return mats
 
 
 def _compact_circuit(

@@ -1,0 +1,126 @@
+"""Cross-engine agreement: XX engine vs dense statevector, single vs batched."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.circuit import Circuit
+from repro.sim.statevector import (
+    BatchedStatevectorSimulator,
+    StatevectorSimulator,
+    simulate,
+)
+from repro.sim.xx_engine import XXBatchEvaluator, XXCircuitEvaluator
+
+
+def _xx_circuit(delta: float) -> Circuit:
+    """A small XX-only circuit with two coupling components and RX terms."""
+    circ = Circuit(5)
+    circ.xx(0, 1, math.pi / 2 + delta)
+    circ.ms(1, 2, math.pi / 2 - delta, math.pi, 0.0)
+    circ.rx(3, 0.3 + delta)
+    circ.xx(0, 2, 0.7)
+    return circ
+
+
+def test_xx_engine_matches_statevector():
+    """Exact XX evaluation equals dense simulation on every basis state."""
+    circ = _xx_circuit(0.05)
+    state = simulate(circ)
+    evaluator = XXCircuitEvaluator(circ)
+    for bitstring in range(2**circ.n_qubits):
+        dense_p = abs(state[bitstring]) ** 2
+        assert evaluator.probability_of(bitstring) == pytest.approx(
+            dense_p, abs=1e-9
+        )
+
+
+def test_xx_batch_matches_single():
+    """Batched spin-table evaluation equals per-circuit evaluation."""
+    rng = np.random.default_rng(3)
+    circuits = [_xx_circuit(d) for d in rng.normal(0.0, 0.1, 6)]
+    batch = XXBatchEvaluator(circuits)
+    for bitstring in (0, 5, 9, 12, 31):
+        single = np.array(
+            [XXCircuitEvaluator(c).probability_of(bitstring) for c in circuits]
+        )
+        assert np.allclose(batch.probabilities_of(bitstring), single, atol=1e-12)
+
+
+def test_batched_statevector_matches_single():
+    """Batched dense evolution equals per-circuit dense evolution."""
+    rng = np.random.default_rng(7)
+
+    def build(delta: float) -> Circuit:
+        circ = Circuit(3)
+        circ.ms(0, 1, 1.3 + delta, 0.2, 0.1)
+        circ.r(2, 0.5 + delta, 1.0)
+        circ.h(0)
+        circ.rz(1, 0.4 - delta)
+        circ.ms(1, 2, 0.9, 0.0, 0.0)
+        return circ
+
+    circuits = [build(d) for d in rng.normal(0.0, 0.2, 5)]
+    batch = BatchedStatevectorSimulator(3, len(circuits))
+    batch.run_aligned(circuits)
+    for g, circ in enumerate(circuits):
+        single = StatevectorSimulator(3)
+        single.run(circ)
+        assert np.allclose(batch.states[g], single.state, atol=1e-12)
+
+
+def test_batched_machine_matches_reference_statistically():
+    """Batched and per-realization machine paths agree in distribution."""
+    from repro.noise.models import NoiseParameters
+    from repro.trap.machine import VirtualIonTrap
+
+    noise = NoiseParameters(
+        amplitude_sigma=0.10,
+        residual_odd_population=0.01,
+        phase_noise_rms=0.05,
+    )
+    circ = Circuit(4)
+    circ.ms(0, 1, math.pi / 2)
+    circ.ms(0, 1, math.pi / 2)
+    circ.ms(2, 3, math.pi / 2)
+    circ.ms(2, 3, math.pi / 2)
+    expected = 0b1111
+
+    batched = VirtualIonTrap(4, noise=noise, seed=11, batched=True)
+    p_batched = np.concatenate(
+        [
+            batched._match_probabilities_slots(
+                batched._realize_slots(circ, 8), expected
+            )
+            for _ in range(25)
+        ]
+    )
+    reference = VirtualIonTrap(4, noise=noise, seed=11, batched=False)
+    p_reference = np.array(
+        [
+            reference._match_probability(reference._realize(circ), expected)
+            for _ in range(200)
+        ]
+    )
+    assert p_batched.mean() == pytest.approx(p_reference.mean(), abs=0.02)
+    assert p_batched.std() == pytest.approx(p_reference.std(), abs=0.03)
+
+
+def test_batched_machine_full_counts_agree():
+    """``run`` totals and dominant outcome agree across machine paths."""
+    from repro.noise.models import NoiseParameters
+    from repro.trap.machine import VirtualIonTrap
+
+    circ = Circuit(4).ms(0, 1, math.pi / 2).ms(2, 3, math.pi / 2)
+    shots = 4000
+    counts = {}
+    for mode in (True, False):
+        machine = VirtualIonTrap(
+            4, noise=NoiseParameters.paper_scaling(), seed=1, batched=mode
+        )
+        counts[mode] = machine.run(circ, shots)
+        assert sum(counts[mode].values()) == shots
+    p_true = counts[True].get(0b1111, 0) / shots
+    p_false = counts[False].get(0b1111, 0) / shots
+    assert p_true == pytest.approx(p_false, abs=0.05)
