@@ -48,6 +48,7 @@ from .core import (
     Syndrome,
     TestExecutor,
     TestSpec,
+    compile_test_battery,
 )
 from .noise import (
     CalibrationDriftProcess,
@@ -57,13 +58,14 @@ from .noise import (
 )
 from .sim import Circuit, StatevectorSimulator, XXCircuitEvaluator
 from .trap import (
+    CompiledBattery,
     CouplingFault,
     DutyCycleBreakdown,
     TimingModel,
     VirtualIonTrap,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveBinarySearch",
@@ -77,6 +79,7 @@ __all__ = [
     "Syndrome",
     "TestExecutor",
     "TestSpec",
+    "compile_test_battery",
     "CalibrationDriftProcess",
     "CompositeUnderRotationDistribution",
     "NoiseParameters",
@@ -84,6 +87,7 @@ __all__ = [
     "Circuit",
     "StatevectorSimulator",
     "XXCircuitEvaluator",
+    "CompiledBattery",
     "CouplingFault",
     "DutyCycleBreakdown",
     "TimingModel",

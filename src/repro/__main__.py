@@ -9,10 +9,13 @@ Subcommands
 ``run <names...|all>``
     Run experiments through the unified runner: ``--smoke``/``--full``
     presets, ``--jobs N`` multiprocessing fan-out, on-disk result cache,
-    JSON (and optional CSV) emission under ``--out``.
+    JSON (and optional CSV) emission under ``--out``.  With ``--sweep
+    FIELD=[v1,v2,...]`` (repeatable) a single experiment runs over the
+    Cartesian grid of the swept fields, sharing the cache across points.
 ``bench``
-    Time the batched simulation paths against the per-realization
-    reference paths (fig3 and fig7 smoke runs) and report the speedups.
+    Run the benchmark registry (compiled-battery sweep broadcast,
+    batched simulation paths, contraction-plan reuse), print the
+    speedups and emit a schema'd ``BENCH_<label>.json`` record.
 
 Examples
 --------
@@ -22,7 +25,8 @@ Examples
     python -m repro run fig3 --smoke
     python -m repro run all --smoke --jobs 4 --out results
     python -m repro run fig8 --full --set "qubit_counts=[8,16]"
-    python -m repro bench
+    python -m repro run fig8 --smoke --sweep "shots=[150,300]" --jobs 2
+    python -m repro bench --smoke --out .
 """
 
 from __future__ import annotations
@@ -31,7 +35,6 @@ import argparse
 import dataclasses
 import json
 import sys
-import time
 from typing import Any
 
 from .analysis import registry, runner
@@ -82,10 +85,22 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--sweep",
+        dest="sweeps",
+        action="append",
+        default=[],
+        metavar="FIELD=JSONLIST",
+        help=(
+            "sweep a config field over a JSON list of values "
+            "(repeatable; fields combine as a Cartesian grid; "
+            "single experiment only)"
+        ),
+    )
+    run.add_argument(
         "--jobs",
         type=int,
         default=1,
-        help="fan experiments out over N worker processes",
+        help="fan experiments (or sweep points) out over N worker processes",
     )
     run.add_argument(
         "--out",
@@ -118,12 +133,36 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="benchmark batched vs per-realization simulation paths",
+        help="run the benchmark registry and emit BENCH_<label>.json",
     )
-    bench.add_argument(
+    bench_preset = bench.add_mutually_exclusive_group()
+    bench_preset.add_argument(
+        "--smoke",
+        action="store_true",
+        help="benchmark at smoke size (the default)",
+    )
+    bench_preset.add_argument(
         "--full",
         action="store_true",
         help="benchmark at full size instead of smoke size",
+    )
+    bench.add_argument(
+        "--out",
+        default=".",
+        help="directory for the BENCH_<label>.json record (default: .)",
+    )
+    bench.add_argument(
+        "--label",
+        default=None,
+        help="registry label (default: the preset name)",
+    )
+    bench.add_argument(
+        "--case",
+        dest="cases",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only the named bench case (repeatable)",
     )
     return parser
 
@@ -180,6 +219,44 @@ def _parse_overrides(pairs: list[str]) -> dict[str, Any] | None:
     return overrides
 
 
+def _parse_sweeps(pairs: list[str]) -> dict[str, list[Any]]:
+    """Parse repeated ``--sweep FIELD=[v1,v2,...]`` options into a grid spec."""
+    sweep: dict[str, list[Any]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--sweep expects FIELD=JSONLIST, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        key = key.strip()
+        try:
+            values = json.loads(raw)
+        except json.JSONDecodeError:
+            raise SystemExit(f"--sweep {key}: invalid JSON list {raw!r}")
+        if not isinstance(values, list) or not values:
+            raise SystemExit(
+                f"--sweep {key}: expected a non-empty JSON list, got {raw!r}"
+            )
+        if key in sweep:
+            raise SystemExit(f"--sweep {key}: field swept twice")
+        sweep[key] = values
+    return sweep
+
+
+def _emit_record(
+    record, args: argparse.Namespace, preset: str, suffix: str | None = None
+) -> None:
+    """Write one record's files and print its one-block summary."""
+    json_path = runner.write_json(record, args.out, suffix=suffix)
+    outputs = [str(json_path)]
+    if args.csv:
+        outputs.append(str(runner.write_csv(record, args.out, suffix=suffix)))
+    source = "cache" if record.cache_hit else f"{record.elapsed_seconds:.2f}s"
+    print(f"[{record.name}] {record.anchor} ({preset}, {source})")
+    print(f"  {record.summary}")
+    print(f"  -> {', '.join(outputs)}")
+    if args.print_json:
+        print(json.dumps(record.payload, indent=2, sort_keys=True))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(args.names)
     if names == ["all"]:
@@ -188,6 +265,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     overrides = _parse_overrides(args.overrides)
     if overrides and len(names) != 1:
         raise SystemExit("--set applies to a single experiment only")
+    sweep = _parse_sweeps(args.sweeps)
+    if sweep:
+        if len(names) != 1:
+            raise SystemExit("--sweep applies to a single experiment only")
+        try:
+            results = runner.run_sweep(
+                names[0],
+                sweep,
+                preset=preset,
+                base_overrides=overrides,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                force=args.force,
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise SystemExit(f"error: {message}") from exc
+        for point, record in results:
+            print(
+                "sweep point: "
+                + ", ".join(f"{k}={v!r}" for k, v in point.items())
+            )
+            _emit_record(record, args, preset, suffix=record.config_digest)
+        return 0
     try:
         records = runner.run_many(
             names,
@@ -203,52 +305,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else str(exc)
         raise SystemExit(f"error: {message}") from exc
     for record in records:
-        json_path = runner.write_json(record, args.out)
-        outputs = [str(json_path)]
-        if args.csv:
-            outputs.append(str(runner.write_csv(record, args.out)))
-        source = "cache" if record.cache_hit else f"{record.elapsed_seconds:.2f}s"
-        print(f"[{record.name}] {record.anchor} ({preset}, {source})")
-        print(f"  {record.summary}")
-        print(f"  -> {', '.join(outputs)}")
-        if args.print_json:
-            print(json.dumps(record.payload, indent=2, sort_keys=True))
+        _emit_record(record, args, preset)
     return 0
 
 
-def _cmd_bench(full: bool) -> int:
-    """Time batched vs per-realization reference paths (fig3, fig7)."""
-    preset = "full" if full else "smoke"
-    rows = []
-    for name, reference_overrides in (
-        ("fig3", {"vectorized": False}),
-        ("fig7", {"batched": False}),
-    ):
-        spec = registry.get_experiment(name)
-        timings = {}
-        for label, overrides in (
-            ("batched", None),
-            ("reference", reference_overrides),
-        ):
-            start = time.perf_counter()
-            spec.run(preset, overrides)
-            timings[label] = time.perf_counter() - start
-        rows.append(
-            [
-                name,
-                preset,
-                f"{timings['reference']:.2f}",
-                f"{timings['batched']:.2f}",
-                f"{timings['reference'] / timings['batched']:.1f}x",
-            ]
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark registry and emit the BENCH_<label>.json record."""
+    from .analysis import bench
+
+    preset = "full" if args.full else "smoke"
+    try:
+        payload, path = bench.run_bench(
+            preset,
+            case_names=args.cases or None,
+            out_dir=args.out,
+            label=args.label,
         )
+    except ValueError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"error: {message}") from exc
+    rows = [
+        [
+            case["name"],
+            f"{case['reference_seconds']:.2f}",
+            f"{case['optimized_seconds']:.2f}",
+            f"{case['speedup']:.1f}x",
+            case["description"],
+        ]
+        for case in payload["cases"]
+    ]
     print(
         ascii_table(
-            ["experiment", "preset", "per-realization s", "batched s", "speedup"],
+            ["case", "reference s", "optimized s", "speedup", "description"],
             rows,
-            title="batched simulation vs per-realization reference",
+            title=f"benchmark registry ({preset})",
         )
     )
+    print(f"\n-> {path}")
     return 0
 
 
@@ -262,7 +355,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "bench":
-        return _cmd_bench(args.full)
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

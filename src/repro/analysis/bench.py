@@ -1,0 +1,318 @@
+"""Persistent benchmark registry behind ``python -m repro bench``.
+
+PR 1 measured its batching speedups ad hoc; this module makes the perf
+trajectory a tracked artifact.  Each :class:`BenchCase` times a
+*reference* path against its *optimized* counterpart (best-of-``repeats``
+wall-clock), and :func:`run_bench` writes the results as a schema'd
+``BENCH_<label>.json`` with full provenance, so future PRs can diff
+speedups across commits instead of re-deriving them.
+
+Registered cases
+----------------
+``fig3-vectorized``
+    PR 1's vectorized fig3 echo sweep vs the per-realization loop.
+``fig7-batched``
+    Slot-batched machine simulation vs the per-realization reference on
+    the fig7 diagnosis workflow.
+``fig8-sweep-broadcast``
+    The compiled-battery magnitude-broadcast fig8 sweep vs the PR 1
+    batched per-point loop (the headline case of PR 2).
+``xx-contraction-plan``
+    Micro-benchmark: reusing a :class:`~repro.sim.xx_engine.ContractionPlan`
+    vs rebuilding the spin-table contraction on every call.
+
+The JSON schema is deliberately hand-validated
+(:func:`validate_bench_payload`) so the registry stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from ..provenance import provenance
+from . import registry
+
+__all__ = [
+    "BENCH_SCHEMA_ID",
+    "BenchCase",
+    "bench_cases",
+    "bench_payload",
+    "run_bench",
+    "validate_bench_payload",
+    "write_bench_json",
+]
+
+#: Schema identifier stamped into (and required of) every bench payload.
+BENCH_SCHEMA_ID = "repro-bench/v1"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed reference-vs-optimized comparison.
+
+    ``reference`` and ``optimized`` are zero-argument callables; each is
+    run ``repeats`` times and the best wall-clock is kept (shrugging off
+    scheduler stalls on busy machines).
+    """
+
+    name: str
+    description: str
+    reference: Callable[[], Any]
+    optimized: Callable[[], Any]
+    repeats: int = 1
+
+
+def _experiment_case(
+    name: str,
+    experiment: str,
+    description: str,
+    preset: str,
+    reference_overrides: dict[str, Any],
+    optimized_overrides: dict[str, Any] | None = None,
+    repeats: int = 1,
+) -> BenchCase:
+    """A case that times one registered experiment under two configs."""
+    spec = registry.get_experiment(experiment)
+    return BenchCase(
+        name=name,
+        description=description,
+        reference=lambda: spec.run(preset, reference_overrides),
+        optimized=lambda: spec.run(preset, optimized_overrides),
+        repeats=repeats,
+    )
+
+
+def _plan_micro_workload(reuse_plan: bool, iterations: int = 400) -> None:
+    """Evaluate one term structure many times, with or without plan reuse.
+
+    Mirrors the protocol's trial pattern — many small realization
+    batches of one fixed circuit structure — where the per-call graph
+    discovery and spin-column products the plan caches dominate the
+    actual contraction.
+    """
+    from itertools import combinations
+
+    from ..sim.xx_engine import ContractionPlan, batch_amplitudes_from_terms
+
+    n_qubits = 12
+    edge_keys = [frozenset(p) for p in combinations(range(10), 2)]
+    rng = np.random.default_rng(7)
+    thetas = rng.normal(np.pi / 2, 0.1, (4, len(edge_keys)))
+    if reuse_plan:
+        plan = ContractionPlan(n_qubits, edge_keys, [], 0)
+        for _ in range(iterations):
+            plan.amplitudes(thetas)
+    else:
+        for _ in range(iterations):
+            batch_amplitudes_from_terms(
+                n_qubits,
+                {e: thetas[:, c] for c, e in enumerate(edge_keys)},
+                {},
+                0,
+            )
+
+
+def bench_cases(preset: str = "smoke") -> list[BenchCase]:
+    """The registered benchmark cases at the given preset."""
+    repeats = 2 if preset == "smoke" else 1
+    return [
+        _experiment_case(
+            "fig3-vectorized",
+            "fig3",
+            "vectorized echo sweep vs per-realization loop",
+            preset,
+            reference_overrides={"vectorized": False},
+            repeats=repeats,
+        ),
+        _experiment_case(
+            "fig7-batched",
+            "fig7",
+            "slot-batched machine vs per-realization reference",
+            preset,
+            reference_overrides={"batched": False},
+            repeats=1,
+        ),
+        _experiment_case(
+            "fig8-sweep-broadcast",
+            "fig8",
+            "compiled-battery magnitude broadcast vs batched per-point loop",
+            preset,
+            reference_overrides={"broadcast": False},
+            optimized_overrides={"broadcast": True},
+            repeats=repeats,
+        ),
+        BenchCase(
+            name="xx-contraction-plan",
+            description="ContractionPlan reuse vs per-call spin contraction",
+            reference=lambda: _plan_micro_workload(reuse_plan=False),
+            optimized=lambda: _plan_micro_workload(reuse_plan=True),
+            repeats=max(repeats, 2),
+        ),
+    ]
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_payload(
+    preset: str = "smoke",
+    case_names: list[str] | None = None,
+    label: str | None = None,
+) -> dict[str, Any]:
+    """Time the (selected) cases and assemble the schema'd payload."""
+    cases = bench_cases(preset)
+    if case_names is not None:
+        known = {c.name for c in cases}
+        unknown = set(case_names) - known
+        if unknown:
+            raise ValueError(
+                "unknown bench cases: "
+                + ", ".join(sorted(unknown))
+                + "; known: "
+                + ", ".join(sorted(known))
+            )
+        cases = [c for c in cases if c.name in set(case_names)]
+    results = []
+    for case in cases:
+        # Warm both sides outside the timed region (imports, registry,
+        # spin-table caches) so single-repeat cases compare fairly.
+        case.optimized()
+        case.reference()
+        optimized = _best_of(case.optimized, case.repeats)
+        reference = _best_of(case.reference, case.repeats)
+        results.append(
+            {
+                "name": case.name,
+                "description": case.description,
+                "reference_seconds": reference,
+                "optimized_seconds": optimized,
+                "speedup": reference / optimized,
+                "repeats": case.repeats,
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA_ID,
+        "label": label or preset,
+        "preset": preset,
+        "created_unix": time.time(),
+        "provenance": provenance(),
+        "cases": results,
+    }
+
+
+def validate_bench_payload(payload: Any) -> None:
+    """Raise ``ValueError`` listing every way ``payload`` violates the schema."""
+    problems: list[str] = []
+
+    def _check(cond: bool, message: str) -> None:
+        if not cond:
+            problems.append(message)
+
+    _check(isinstance(payload, dict), "payload must be a JSON object")
+    if isinstance(payload, dict):
+        _check(
+            payload.get("schema") == BENCH_SCHEMA_ID,
+            f"schema must be {BENCH_SCHEMA_ID!r}",
+        )
+        _check(
+            isinstance(payload.get("label"), str) and payload.get("label"),
+            "label must be a non-empty string",
+        )
+        _check(
+            payload.get("preset") in ("smoke", "full"),
+            "preset must be 'smoke' or 'full'",
+        )
+        _check(
+            isinstance(payload.get("created_unix"), (int, float)),
+            "created_unix must be a number",
+        )
+        prov = payload.get("provenance")
+        _check(isinstance(prov, dict), "provenance must be an object")
+        if isinstance(prov, dict):
+            _check(
+                isinstance(prov.get("repro_version"), str),
+                "provenance.repro_version must be a string",
+            )
+            _check(
+                prov.get("git_sha") is None
+                or isinstance(prov.get("git_sha"), str),
+                "provenance.git_sha must be a string or null",
+            )
+        cases = payload.get("cases")
+        _check(
+            isinstance(cases, list) and len(cases) > 0,
+            "cases must be a non-empty array",
+        )
+        if isinstance(cases, list):
+            for k, case in enumerate(cases):
+                where = f"cases[{k}]"
+                if not isinstance(case, dict):
+                    problems.append(f"{where} must be an object")
+                    continue
+                for key in ("name", "description"):
+                    _check(
+                        isinstance(case.get(key), str) and case.get(key),
+                        f"{where}.{key} must be a non-empty string",
+                    )
+                for key in (
+                    "reference_seconds",
+                    "optimized_seconds",
+                    "speedup",
+                ):
+                    value = case.get(key)
+                    _check(
+                        isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                        and value > 0,
+                        f"{where}.{key} must be a positive number",
+                    )
+                _check(
+                    isinstance(case.get("repeats"), int)
+                    and case.get("repeats") >= 1,
+                    f"{where}.repeats must be an integer >= 1",
+                )
+    if problems:
+        raise ValueError(
+            "invalid bench payload: " + "; ".join(problems)
+        )
+
+
+def write_bench_json(payload: dict[str, Any], out_dir: Path | str) -> Path:
+    """Validate and write the payload as ``<out>/BENCH_<label>.json``."""
+    from .runner import _atomic_write_json
+
+    validate_bench_payload(payload)
+    label = "".join(
+        c if c.isalnum() or c in "._-" else "-" for c in str(payload["label"])
+    )
+    out = Path(out_dir)
+    path = out / f"BENCH_{label}.json"
+    _atomic_write_json(path, payload)
+    return path
+
+
+def run_bench(
+    preset: str = "smoke",
+    case_names: list[str] | None = None,
+    out_dir: Path | str = ".",
+    label: str | None = None,
+) -> tuple[dict[str, Any], Path]:
+    """Run the bench battery and persist the registry record.
+
+    Returns the payload and the ``BENCH_<label>.json`` path it was
+    written to (label defaults to the preset).
+    """
+    payload = bench_payload(preset, case_names=case_names, label=label)
+    path = write_bench_json(payload, out_dir)
+    return payload, path

@@ -19,11 +19,11 @@ Reported per (N, repetitions):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ...core.protocol import FixedThresholds, TestExecutor
+from ...core.protocol import FixedThresholds, TestExecutor, compile_test_battery
 from ...core.single_fault import SingleFaultProtocol
 from ...core.tests_builder import TestSpec
 from ...noise.models import NoiseParameters
@@ -48,6 +48,15 @@ class Fig8Config:
     detection_quantile: float = 0.05
     target_detection: float = 0.95
     noise_realizations: int = 4
+    #: Evaluate the under-rotation sweep through the compiled battery's
+    #: magnitude broadcast (all sweep points in one stacked contraction,
+    #: sharing noise draws across points).  ``False`` selects the PR 1
+    #: per-point loop — the benchmark registry's reference path.
+    broadcast: bool = True
+    #: Fan the (N, repetitions) series grid out over worker processes
+    #: (execution-only: never changes results, excluded from the cache
+    #: digest).
+    series_jobs: int = field(default=1, metadata={"execution_only": True})
     seed: int = 8
 
 
@@ -101,54 +110,119 @@ def _fidelity_samples(
     )
 
 
+def _series_reference(
+    cfg: Fig8Config, n_qubits: int, repetitions: int
+) -> Fig8Series:
+    """One (N, repetitions) sweep via the per-point loop (PR 1 path)."""
+    pair = (0, 1)
+    spec = class_test_for_pair(n_qubits, pair, repetitions)
+    baseline = _fidelity_samples(
+        cfg, n_qubits, spec, 0.0, pair, cfg.baseline_trials, seed=cfg.seed
+    )
+    threshold = float(np.quantile(baseline, cfg.detection_quantile))
+    means: list[float] = []
+    rates: list[float] = []
+    for idx, u in enumerate(cfg.under_rotations):
+        samples = _fidelity_samples(
+            cfg,
+            n_qubits,
+            spec,
+            u,
+            pair,
+            cfg.trials,
+            seed=cfg.seed + 13 * idx + n_qubits,
+        )
+        means.append(float(samples.mean()))
+        rates.append(float(np.mean(samples < threshold)))
+    return _grade_series(cfg, n_qubits, repetitions, baseline, threshold, means, rates)
+
+
+def _series_broadcast(
+    cfg: Fig8Config, n_qubits: int, repetitions: int
+) -> Fig8Series:
+    """One (N, repetitions) sweep via the compiled magnitude broadcast.
+
+    The class test is compiled once; the baseline's trials and the whole
+    magnitude grid's ``(M, trials, realizations)`` block then run against
+    the cached contraction plan — sweep points share noise draws, so the
+    sweep costs one stacked matmul instead of M independent point runs.
+    """
+    pair = (0, 1)
+    spec = class_test_for_pair(n_qubits, pair, repetitions)
+    battery = compile_test_battery(n_qubits, [spec])
+    noise = NoiseParameters(amplitude_sigma=cfg.amplitude_sigma)
+    baseline_machine = VirtualIonTrap(
+        n_qubits,
+        noise=noise,
+        seed=cfg.seed,
+        noise_realizations=cfg.noise_realizations,
+    )
+    baseline = battery.trial_fidelities(
+        baseline_machine, 0, cfg.shots, cfg.baseline_trials
+    )
+    threshold = float(np.quantile(baseline, cfg.detection_quantile))
+    sweep_machine = VirtualIonTrap(
+        n_qubits,
+        noise=noise,
+        seed=cfg.seed + 13 + n_qubits,
+        noise_realizations=cfg.noise_realizations,
+    )
+    samples = battery.sweep_fidelities(
+        sweep_machine,
+        0,
+        pair,
+        np.array(cfg.under_rotations),
+        cfg.shots,
+        cfg.trials,
+    )
+    means = [float(row.mean()) for row in samples]
+    rates = [float(np.mean(row < threshold)) for row in samples]
+    return _grade_series(cfg, n_qubits, repetitions, baseline, threshold, means, rates)
+
+
+def _grade_series(
+    cfg: Fig8Config,
+    n_qubits: int,
+    repetitions: int,
+    baseline: np.ndarray,
+    threshold: float,
+    means: list[float],
+    rates: list[float],
+) -> Fig8Series:
+    """Fold sweep statistics into the reported series record."""
+    return Fig8Series(
+        n_qubits=n_qubits,
+        repetitions=repetitions,
+        under_rotations=cfg.under_rotations,
+        mean_fidelity=tuple(means),
+        detection_rate=tuple(rates),
+        baseline_mean=float(baseline.mean()),
+        threshold=threshold,
+        min_detectable_95=_first_crossing(
+            cfg.under_rotations, rates, cfg.target_detection
+        ),
+    )
+
+
+def _run_series(args: tuple[Fig8Config, int, int]) -> Fig8Series:
+    """Worker entry point for the series fan-out (must be module-level)."""
+    cfg, n_qubits, repetitions = args
+    if cfg.broadcast:
+        return _series_broadcast(cfg, n_qubits, repetitions)
+    return _series_reference(cfg, n_qubits, repetitions)
+
+
 def run_fig8(cfg: Fig8Config | None = None) -> list[Fig8Series]:
     """Produce every (N, repetitions) sweep of Fig. 8."""
+    from ..runner import fan_out
+
     cfg = cfg or Fig8Config()
-    out: list[Fig8Series] = []
-    pair = (0, 1)
-    for n_qubits in cfg.qubit_counts:
-        for repetitions in cfg.repetition_counts:
-            spec = class_test_for_pair(n_qubits, pair, repetitions)
-            baseline = _fidelity_samples(
-                cfg,
-                n_qubits,
-                spec,
-                0.0,
-                pair,
-                cfg.baseline_trials,
-                seed=cfg.seed,
-            )
-            threshold = float(np.quantile(baseline, cfg.detection_quantile))
-            means: list[float] = []
-            rates: list[float] = []
-            for idx, u in enumerate(cfg.under_rotations):
-                samples = _fidelity_samples(
-                    cfg,
-                    n_qubits,
-                    spec,
-                    u,
-                    pair,
-                    cfg.trials,
-                    seed=cfg.seed + 13 * idx + n_qubits,
-                )
-                means.append(float(samples.mean()))
-                rates.append(float(np.mean(samples < threshold)))
-            min_u = _first_crossing(
-                cfg.under_rotations, rates, cfg.target_detection
-            )
-            out.append(
-                Fig8Series(
-                    n_qubits=n_qubits,
-                    repetitions=repetitions,
-                    under_rotations=cfg.under_rotations,
-                    mean_fidelity=tuple(means),
-                    detection_rate=tuple(rates),
-                    baseline_mean=float(baseline.mean()),
-                    threshold=threshold,
-                    min_detectable_95=min_u,
-                )
-            )
-    return out
+    grid = [
+        (cfg, n_qubits, repetitions)
+        for n_qubits in cfg.qubit_counts
+        for repetitions in cfg.repetition_counts
+    ]
+    return fan_out(_run_series, grid, cfg.series_jobs)
 
 
 def _first_crossing(

@@ -19,13 +19,13 @@ machines, as in Fig. 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ...analysis.detection import CalibratedThresholds
 from ...core.multi_fault import MagnitudeSearchConfig, MultiFaultProtocol
-from ...core.protocol import TestExecutor
+from ...core.protocol import TestExecutor, compile_test_battery
 from ...noise.distributions import CompositeUnderRotationDistribution
 from ...noise.models import NoiseParameters
 from ...trap.calibration import all_pairs
@@ -53,6 +53,10 @@ class Fig9Config:
     threshold_margin: float = 0.10
     noise_realizations: int = 4
     max_faults: int = 6
+    #: Fan the (N, repetitions) panel grid out over worker processes
+    #: (execution-only: never changes results, excluded from the cache
+    #: digest).
+    series_jobs: int = field(default=1, metadata={"execution_only": True})
     seed: int = 9
 
 
@@ -78,7 +82,16 @@ def distribution_snapshot(
 def _calibrate(
     cfg: Fig9Config, n_qubits: int, repetitions: int
 ) -> CalibratedThresholds:
-    """Thresholds from in-spec machines (bulk <= knee, no tail)."""
+    """Thresholds from in-spec machines (bulk <= knee, no tail).
+
+    The static battery (class/equal-bits tests plus the canary at
+    N <= 16) is compiled **once** per (N, repetitions) family and
+    evaluated against every trial machine through the cached contraction
+    plans; only the per-trial verify test (its pair rotates) runs
+    through the plain executor.  If compilation is ever unavailable (a
+    spec whose coupling component exceeds the exact-summation limit)
+    everything falls back to the executor path.
+    """
     from ...core.tests_builder import TestSpec
     from .fig6 import battery_specs
 
@@ -86,6 +99,20 @@ def _calibrate(
     pairs = all_pairs(n_qubits)
     thresholds = CalibratedThresholds(default=0.5)
     samples: dict[tuple[int, str], list[float]] = {}
+    static_specs = battery_specs(n_qubits, repetitions)
+    if n_qubits <= 16:
+        static_specs.append(
+            TestSpec(
+                name="canary-baseline",
+                pairs=tuple(pairs),
+                repetitions=repetitions,
+                kind="canary",
+            )
+        )
+    try:
+        battery = compile_test_battery(n_qubits, static_specs)
+    except ValueError:
+        battery = None
     for trial in range(cfg.threshold_trials):
         rng = np.random.default_rng(5000 + 31 * trial + n_qubits)
         machine = VirtualIonTrap(
@@ -98,29 +125,30 @@ def _calibrate(
             {p: float(rng.uniform(0.0, cfg.knee)) for p in pairs}
         )
         executor = TestExecutor(machine, thresholds=thresholds, shots=cfg.shots)
-        specs = battery_specs(n_qubits, repetitions)
-        if n_qubits <= 16:
-            specs.append(
-                TestSpec(
-                    name="canary-baseline",
-                    pairs=tuple(pairs),
-                    repetitions=repetitions,
-                    kind="canary",
+        if battery is not None:
+            for i, spec in enumerate(static_specs):
+                fidelity = float(
+                    battery.trial_fidelities(machine, i, cfg.shots, trials=1)[0]
                 )
-            )
-        specs.append(
-            TestSpec(
-                name="verify-baseline",
-                pairs=(pairs[trial % len(pairs)],),
-                repetitions=repetitions,
-                kind="verify",
-            )
+                samples.setdefault((repetitions, spec.kind), []).append(
+                    fidelity
+                )
+        else:
+            for spec in static_specs:
+                result = executor.execute(spec)
+                samples.setdefault((repetitions, spec.kind), []).append(
+                    result.fidelity
+                )
+        verify_spec = TestSpec(
+            name="verify-baseline",
+            pairs=(pairs[trial % len(pairs)],),
+            repetitions=repetitions,
+            kind="verify",
         )
-        for spec in specs:
-            result = executor.execute(spec)
-            samples.setdefault((repetitions, spec.kind), []).append(
-                result.fidelity
-            )
+        result = executor.execute(verify_spec)
+        samples.setdefault((repetitions, verify_spec.kind), []).append(
+            result.fidelity
+        )
     for key, fidelities in samples.items():
         value = float(
             np.quantile(np.array(fidelities), cfg.threshold_quantile)
@@ -170,40 +198,52 @@ def _one_trial(
     return grades
 
 
-def run_fig9(cfg: Fig9Config | None = None) -> list[Fig9Panel]:
-    """Produce all six panels of Fig. 9."""
-    cfg = cfg or Fig9Config()
-    panels: list[Fig9Panel] = []
-    for n_qubits in cfg.qubit_counts:
-        for repetitions in cfg.repetition_counts:
-            thresholds = _calibrate(cfg, n_qubits, repetitions)
-            success: dict[int, list[float]] = {k: [] for k in cfg.top_k}
-            for s_idx, sigma in enumerate(cfg.sigmas):
-                wins = {k: 0 for k in cfg.top_k}
-                for trial in range(cfg.trials):
-                    seed = (
-                        cfg.seed
-                        + 101 * trial
-                        + 1009 * s_idx
-                        + 10007 * n_qubits
-                        + repetitions
-                    )
-                    grades = _one_trial(
-                        cfg, n_qubits, repetitions, sigma, thresholds, seed
-                    )
-                    for k in cfg.top_k:
-                        wins[k] += int(grades[k])
-                for k in cfg.top_k:
-                    success[k].append(wins[k] / cfg.trials)
-            panels.append(
-                Fig9Panel(
-                    n_qubits=n_qubits,
-                    repetitions=repetitions,
-                    sigmas=cfg.sigmas,
-                    success={k: tuple(v) for k, v in success.items()},
-                )
+def _run_panel(args: tuple[Fig9Config, int, int]) -> Fig9Panel:
+    """Worker entry point for the panel fan-out (must be module-level)."""
+    cfg, n_qubits, repetitions = args
+    thresholds = _calibrate(cfg, n_qubits, repetitions)
+    success: dict[int, list[float]] = {k: [] for k in cfg.top_k}
+    for s_idx, sigma in enumerate(cfg.sigmas):
+        wins = {k: 0 for k in cfg.top_k}
+        for trial in range(cfg.trials):
+            seed = (
+                cfg.seed
+                + 101 * trial
+                + 1009 * s_idx
+                + 10007 * n_qubits
+                + repetitions
             )
-    return panels
+            grades = _one_trial(
+                cfg, n_qubits, repetitions, sigma, thresholds, seed
+            )
+            for k in cfg.top_k:
+                wins[k] += int(grades[k])
+        for k in cfg.top_k:
+            success[k].append(wins[k] / cfg.trials)
+    return Fig9Panel(
+        n_qubits=n_qubits,
+        repetitions=repetitions,
+        sigmas=cfg.sigmas,
+        success={k: tuple(v) for k, v in success.items()},
+    )
+
+
+def run_fig9(cfg: Fig9Config | None = None) -> list[Fig9Panel]:
+    """Produce all six panels of Fig. 9.
+
+    ``series_jobs > 1`` fans the (N, repetitions) panel grid out over
+    worker processes (each panel is seeded independently, so results are
+    identical to the sequential order).
+    """
+    from ..runner import fan_out
+
+    cfg = cfg or Fig9Config()
+    grid = [
+        (cfg, n_qubits, repetitions)
+        for n_qubits in cfg.qubit_counts
+        for repetitions in cfg.repetition_counts
+    ]
+    return fan_out(_run_panel, grid, cfg.series_jobs)
 
 
 def _register() -> None:

@@ -28,7 +28,7 @@ fault sets); larger cases are Monte-Carlo estimates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
 
 import numpy as np
@@ -57,6 +57,10 @@ class Table2Config:
     #: Fault-set count above which enumeration switches to Monte-Carlo.
     exhaustive_limit: int = 5000
     mc_trials: int = 1000
+    #: Fan the independent fault-set evaluations of each cell out over
+    #: worker processes (the sequential-identification loop dominates;
+    #: execution-only, excluded from the cache digest).
+    jobs: int = field(default=1, metadata={"execution_only": True})
     seed: int = 22
 
 
@@ -110,8 +114,26 @@ def _unique_union(n_qubits: int, faults: list[Pair]) -> bool:
     return count_explanations(mask, len(faults), n_qubits, limit=2) == 1
 
 
+def _grade_fault_sets(
+    args: tuple[int, list[list[Pair]]],
+) -> tuple[list[bool], list[bool]]:
+    """Identification/uniqueness grades for a chunk of fault sets.
+
+    Module-level so :func:`run_table2`'s process fan-out can pickle it;
+    the grading is deterministic, so chunking never changes results.
+    """
+    n_qubits, fault_sets = args
+    ident = [sequential_identification(n_qubits, set(fs)) for fs in fault_sets]
+    unique = [_unique_union(n_qubits, fs) for fs in fault_sets]
+    return ident, unique
+
+
 def run_table2(cfg: Table2Config | None = None) -> list[Table2Cell]:
-    """Compute every cell of Table II."""
+    """Compute every cell of Table II.
+
+    Each cell's fault sets are graded independently; ``cfg.jobs > 1``
+    splits them into chunks evaluated across worker processes.
+    """
     cfg = cfg or Table2Config()
     rng = np.random.default_rng(cfg.seed)
     cells: list[Table2Cell] = []
@@ -127,13 +149,23 @@ def run_table2(cfg: Table2Config | None = None) -> list[Table2Cell]:
                     [pairs[i] for i in rng.choice(len(pairs), k, replace=False)]
                     for _ in range(cfg.mc_trials)
                 ]
-            ident = np.mean(
-                [
-                    sequential_identification(n_qubits, set(fs))
-                    for fs in fault_sets
+            from ..runner import fan_out
+
+            if cfg.jobs > 1 and len(fault_sets) > 1:
+                n_chunks = min(cfg.jobs * 4, len(fault_sets))
+                bounds = np.linspace(0, len(fault_sets), n_chunks + 1).astype(int)
+                chunks = [
+                    (n_qubits, fault_sets[lo:hi])
+                    for lo, hi in zip(bounds[:-1], bounds[1:])
+                    if hi > lo
                 ]
-            )
-            unique = np.mean([_unique_union(n_qubits, fs) for fs in fault_sets])
+            else:
+                chunks = [(n_qubits, fault_sets)]
+            graded = fan_out(_grade_fault_sets, chunks, cfg.jobs)
+            ident_flags = [f for chunk, _ in graded for f in chunk]
+            unique_flags = [f for _, chunk in graded for f in chunk]
+            ident = np.mean(ident_flags)
+            unique = np.mean(unique_flags)
             cells.append(
                 Table2Cell(
                     n_qubits=n_qubits,

@@ -8,7 +8,9 @@ This is the execution layer over :mod:`repro.analysis.registry`:
   returns it without re-simulating.
 * **Multiprocessing fan-out** — ``run_many`` distributes independent
   experiment jobs across worker processes (each worker writes its own
-  cache file atomically, so concurrent runs compose).
+  cache file atomically, so concurrent runs compose); ``run_sweep`` is
+  the transpose — one experiment, a grid of configs — sharing the same
+  cache and pool machinery.
 * **Structured emission** — results serialize to JSON (``to_jsonable``
   handles the dataclass/numpy/frozenset shapes the experiments produce)
   and flatten to CSV via each spec's ``to_rows``.
@@ -36,8 +38,11 @@ __all__ = [
     "RunRecord",
     "config_digest",
     "default_cache_dir",
+    "fan_out",
     "run_experiment",
     "run_many",
+    "run_sweep",
+    "sweep_grid",
     "to_jsonable",
     "write_csv",
     "write_json",
@@ -45,6 +50,22 @@ __all__ = [
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def fan_out(fn, items, jobs: int) -> list:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    The one fan-out shape shared by the runner and the experiments'
+    internal grids: ``jobs <= 1`` (or a single item) runs inline;
+    otherwise a process pool clamped to ``len(items)`` workers is used
+    (``fn`` and the items must pickle — module-level functions only).
+    Results return in input order.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 def default_cache_dir() -> Path:
@@ -93,14 +114,25 @@ def _key_str(key: Any) -> str:
 
 
 def config_digest(name: str, config: Any) -> str:
-    """Stable digest of an experiment invocation (name, version, config)."""
+    """Stable digest of an experiment invocation (name, version, config).
+
+    Config fields marked ``metadata={"execution_only": True}`` (process
+    fan-out knobs like ``series_jobs`` — they change wall-clock, never
+    results) are excluded, so a parallel run is served from a sequential
+    run's cache entry and vice versa.
+    """
     from .. import __version__
 
+    jsonable = to_jsonable(config)
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        for f in dataclasses.fields(config):
+            if f.metadata.get("execution_only"):
+                jsonable.pop(f.name, None)
     blob = json.dumps(
         {
             "experiment": name,
             "version": __version__,
-            "config": to_jsonable(config),
+            "config": jsonable,
         },
         sort_keys=True,
     )
@@ -206,6 +238,8 @@ def run_experiment(
             cache_hit=True,
             payload=payload,
         )
+    from ..provenance import provenance
+
     start = time.perf_counter()
     result = spec.runner(config)
     elapsed = time.perf_counter() - start
@@ -217,6 +251,7 @@ def run_experiment(
         "preset": preset,
         "config": to_jsonable(config),
         "config_digest": digest,
+        "provenance": provenance(config_digest=digest),
         "elapsed_seconds": elapsed,
         "summary": spec.summarize(result),
         "result": to_jsonable(result),
@@ -275,28 +310,102 @@ def run_many(
          use_cache, force)
         for name in names
     ]
-    if jobs <= 1 or len(names) <= 1:
-        return [_run_job(args) for args in job_args]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-        return list(pool.map(_run_job, job_args))
+    return fan_out(_run_job, job_args, jobs)
 
 
-def write_json(record: RunRecord, out_dir: Path | str) -> Path:
-    """Write a record's payload to ``<out>/<name>-<preset>.json``."""
+def sweep_grid(sweep: dict[str, list[Any]]) -> list[dict[str, Any]]:
+    """Cartesian product of a ``{field: [values...]}`` sweep specification.
+
+    Field order follows the sweep dict's insertion order; the last field
+    varies fastest.  Every value list must be non-empty.
+    """
+    import itertools
+
+    if not sweep:
+        raise ValueError("sweep specification is empty")
+    for key, values in sweep.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ValueError(
+                f"sweep field {key!r} needs a non-empty list of values"
+            )
+    keys = list(sweep)
+    return [
+        dict(zip(keys, point))
+        for point in itertools.product(*(sweep[k] for k in keys))
+    ]
+
+
+def run_sweep(
+    name: str,
+    sweep: dict[str, list[Any]],
+    preset: str = "smoke",
+    base_overrides: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+) -> list[tuple[dict[str, Any], RunRecord]]:
+    """Run one experiment over a grid of config overrides.
+
+    The transpose of :func:`run_many`: a single experiment, every point
+    of the :func:`sweep_grid` built from ``sweep`` (applied on top of
+    ``base_overrides``).  Points share the on-disk result cache — a
+    rerun of an overlapping sweep is served from disk — and fan out over
+    worker processes with ``jobs > 1``.  Returns ``(point, record)``
+    pairs in grid order.
+    """
+    get_experiment(name)  # fail fast on unknown names
+    points = sweep_grid(sweep)
+    base = dict(base_overrides or {})
+    overlap = set(base) & set(sweep)
+    if overlap:
+        raise ValueError(
+            "sweep fields duplicate base overrides: "
+            + ", ".join(sorted(overlap))
+        )
+    job_args = [
+        (
+            name,
+            preset,
+            {**base, **point},
+            str(cache_dir) if cache_dir else None,
+            use_cache,
+            force,
+        )
+        for point in points
+    ]
+    return list(zip(points, fan_out(_run_job, job_args, jobs)))
+
+
+def _out_stem(record: RunRecord, suffix: str | None) -> str:
+    stem = f"{record.name}-{record.preset}"
+    return f"{stem}-{suffix}" if suffix else stem
+
+
+def write_json(
+    record: RunRecord, out_dir: Path | str, suffix: str | None = None
+) -> Path:
+    """Write a record's payload to ``<out>/<name>-<preset>[-suffix].json``.
+
+    ``suffix`` (typically the config digest) keeps the files of a sweep's
+    many points from overwriting each other.
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    path = out / f"{record.name}-{record.preset}.json"
+    path = out / f"{_out_stem(record, suffix)}.json"
     _atomic_write_json(path, record.payload)
     return path
 
 
-def write_csv(record: RunRecord, out_dir: Path | str) -> Path:
-    """Write a record's flattened rows to ``<out>/<name>-<preset>.csv``."""
+def write_csv(
+    record: RunRecord, out_dir: Path | str, suffix: str | None = None
+) -> Path:
+    """Write a record's flattened rows to ``<out>/<name>-<preset>[-suffix].csv``."""
     from .reporting import series_csv
 
     headers, rows = record.rows()
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    path = out / f"{record.name}-{record.preset}.csv"
+    path = out / f"{_out_stem(record, suffix)}.csv"
     path.write_text(series_csv(headers, rows) + "\n")
     return path

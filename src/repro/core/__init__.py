@@ -25,6 +25,7 @@ from .protocol import (
     FixedThresholds,
     TestExecutor,
     TestResult,
+    compile_test_battery,
 )
 from .single_fault import SingleFaultDiagnosis, SingleFaultProtocol
 from .syndrome import Syndrome, candidates_for_syndrome, count_explanations
@@ -47,6 +48,7 @@ __all__ = [
     "FixedThresholds",
     "TestExecutor",
     "TestResult",
+    "compile_test_battery",
     "SingleFaultDiagnosis",
     "SingleFaultProtocol",
     "Syndrome",

@@ -27,6 +27,7 @@ __all__ = [
     "TestResult",
     "TestExecutor",
     "DiagnosisReport",
+    "compile_test_battery",
 ]
 
 Pair = frozenset[int]
@@ -159,6 +160,31 @@ class TestExecutor:
     def execute_batch(self, specs: list[TestSpec]) -> list[TestResult]:
         """Run a predetermined batch (no adaptation between tests)."""
         return [self.execute(spec) for spec in specs]
+
+
+def compile_test_battery(
+    n_qubits: int, specs: list[TestSpec], max_exact_qubits: int = 20
+):
+    """Compile a battery of test specs into a reusable contraction bundle.
+
+    Builds each spec's circuit and expected output once and hands them to
+    :class:`~repro.trap.machine.CompiledBattery`, which hoists coupling
+    terms, connected components and spin-table pair products out of the
+    per-trial hot loop.  The battery is machine-independent — compile per
+    ``(n_qubits, repetitions)`` family, evaluate against every trial
+    machine, calibration snapshot and sweep point.
+
+    Raises ``ValueError`` when a spec cannot be compiled (non-XX gates or
+    a coupling component above ``max_exact_qubits``, e.g. a full canary
+    at N = 32); callers fall back to :class:`TestExecutor`.
+    """
+    from ..trap.machine import CompiledBattery
+
+    items = [
+        (build_test_circuit(spec, n_qubits), expected_output(spec, n_qubits))
+        for spec in specs
+    ]
+    return CompiledBattery(n_qubits, items, max_exact_qubits=max_exact_qubits)
 
 
 @dataclass

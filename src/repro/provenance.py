@@ -1,0 +1,55 @@
+"""Provenance stamping for cached results and benchmark records.
+
+Every persisted artifact (runner cache payloads, ``BENCH_*.json``) should
+be traceable to the code that produced it: the package version, the git
+commit when the source tree is a checkout, and the interpreter/numpy
+versions that shaped the numerics.  :func:`provenance` gathers all of it
+defensively — a missing ``git`` binary or an installed (non-checkout)
+package degrades to ``None`` fields, never an error.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any
+
+__all__ = ["git_sha", "provenance"]
+
+
+def git_sha() -> str | None:
+    """Commit SHA of the source checkout, or ``None`` outside a repo."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def provenance(config_digest: str | None = None) -> dict[str, Any]:
+    """Stampable provenance record for a persisted artifact.
+
+    ``config_digest`` threads the runner's invocation digest through when
+    the artifact corresponds to one experiment config.
+    """
+    import numpy
+
+    from . import __version__
+
+    record: dict[str, Any] = {
+        "repro_version": __version__,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+    if config_digest is not None:
+        record["config_digest"] = config_digest
+    return record

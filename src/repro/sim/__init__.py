@@ -23,7 +23,7 @@ from .statevector import (
     simulate,
     zero_state,
 )
-from .xx_engine import XXBatchEvaluator, XXCircuitEvaluator
+from .xx_engine import ContractionPlan, XXBatchEvaluator, XXCircuitEvaluator
 
 __all__ = [
     "Circuit",
@@ -38,6 +38,7 @@ __all__ = [
     "simulate",
     "zero_state",
     "MAX_DENSE_QUBITS",
+    "ContractionPlan",
     "XXBatchEvaluator",
     "XXCircuitEvaluator",
 ]

@@ -29,6 +29,7 @@ __all__ = [
     "circuits_aligned",
     "batched_matrices",
     "batched_matrices_from_params",
+    "realization_chunks",
     "MAX_DENSE_QUBITS",
     "MAX_BATCH_AMPLITUDES",
 ]
@@ -149,6 +150,32 @@ def simulate(circuit: Circuit) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
+def realization_chunks(
+    n_qubits: int, n_batch: int, max_batch_bytes: int | None = None
+) -> list[tuple[int, int]]:
+    """Split a realization batch into contiguous ``(start, stop)`` chunks.
+
+    Each chunk's dense state block (``chunk * 2^n`` complex128
+    amplitudes) fits the memory budget: ``max_batch_bytes`` when given,
+    otherwise the global :data:`MAX_BATCH_AMPLITUDES` cap.  A single
+    realization always forms a valid chunk even if it alone exceeds the
+    budget (the per-state :data:`MAX_DENSE_QUBITS` cap governs that).
+    """
+    if n_batch < 1:
+        raise ValueError("batch must be positive")
+    if max_batch_bytes is None:
+        budget_amps = MAX_BATCH_AMPLITUDES
+    else:
+        # A user budget can tighten the global cap but never widen it —
+        # chunks must stay constructible as batched simulators.
+        budget_amps = min(MAX_BATCH_AMPLITUDES, max(1, max_batch_bytes // 16))
+    per_chunk = max(1, budget_amps // 2**n_qubits)
+    return [
+        (start, min(start + per_chunk, n_batch))
+        for start in range(0, n_batch, per_chunk)
+    ]
+
+
 def circuits_aligned(circuits: list[Circuit]) -> bool:
     """True if all circuits share one op skeleton (gate names and qubits).
 
@@ -223,9 +250,18 @@ class BatchedStatevectorSimulator:
         Register width per batch entry.
     batch:
         Number of simultaneously evolved statevectors.
+    max_batch_bytes:
+        Optional memory budget for the state block (complex128 bytes);
+        tighter than the global cap, it lets callers bound peak memory
+        explicitly and chunk realization groups with
+        :func:`realization_chunks`.  Like that helper, a single
+        realization is always accepted (the per-state dense cap governs
+        it), so chunks the helper emits are always constructible.
     """
 
-    def __init__(self, n_qubits: int, batch: int):
+    def __init__(
+        self, n_qubits: int, batch: int, max_batch_bytes: int | None = None
+    ):
         if n_qubits < 1:
             raise ValueError("need at least one qubit")
         if n_qubits > MAX_DENSE_QUBITS:
@@ -239,6 +275,14 @@ class BatchedStatevectorSimulator:
                 f"batch of {batch} states on {n_qubits} qubits exceeds the "
                 f"combined amplitude cap (2^{MAX_BATCH_AMPLITUDES.bit_length() - 1})"
             )
+        if max_batch_bytes is not None:
+            budget_amps = max(1, max_batch_bytes // 16)
+            if batch > max(1, budget_amps // 2**n_qubits):
+                raise ValueError(
+                    f"batch of {batch} states on {n_qubits} qubits exceeds "
+                    f"the {max_batch_bytes}-byte budget; chunk realization "
+                    "groups with realization_chunks()"
+                )
         self.n_qubits = n_qubits
         self.batch = batch
         self.states = np.zeros((batch, 2**n_qubits), dtype=complex)

@@ -28,6 +28,7 @@ the dense simulator.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,7 +40,11 @@ __all__ = [
     "XXCircuitEvaluator",
     "XXBatchEvaluator",
     "CouplingTerms",
+    "ContractionPlan",
+    "MAX_PLAN_BYTES",
     "batch_amplitudes_from_terms",
+    "set_spin_table_cache_bytes",
+    "spin_table_cache_info",
 ]
 
 
@@ -147,22 +152,66 @@ def _connected_components(
     return comps
 
 
-_SPIN_TABLE_CACHE: dict[int, np.ndarray] = {}
+_SPIN_TABLE_CACHE: OrderedDict[int, np.ndarray] = OrderedDict()
+
+#: Total bytes of spin tables kept resident; least-recently-used tables
+#: are evicted first once the budget is exceeded (the table being
+#: returned is never evicted).
+_SPIN_TABLE_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+
+def set_spin_table_cache_bytes(max_bytes: int) -> None:
+    """Re-bound the spin-table cache and evict down to the new budget."""
+    global _SPIN_TABLE_CACHE_MAX_BYTES
+    if max_bytes < 0:
+        raise ValueError("cache budget must be non-negative")
+    _SPIN_TABLE_CACHE_MAX_BYTES = max_bytes
+    _evict_spin_tables()
+
+
+def spin_table_cache_info() -> dict[str, int]:
+    """Cache occupancy: resident table sizes, total bytes, byte budget."""
+    return {
+        "tables": len(_SPIN_TABLE_CACHE),
+        "total_bytes": sum(t.nbytes for t in _SPIN_TABLE_CACHE.values()),
+        "max_bytes": _SPIN_TABLE_CACHE_MAX_BYTES,
+    }
+
+
+def _evict_spin_tables() -> None:
+    """Drop least-recently-used tables until the byte budget is met.
+
+    The most-recently-used table always survives, so the table a caller
+    just requested stays resident even when it alone exceeds the budget.
+    """
+    while (
+        len(_SPIN_TABLE_CACHE) > 1
+        and sum(t.nbytes for t in _SPIN_TABLE_CACHE.values())
+        > _SPIN_TABLE_CACHE_MAX_BYTES
+    ):
+        _SPIN_TABLE_CACHE.popitem(last=False)
 
 
 def _spin_table(m: int) -> np.ndarray:
-    """All 2^m spin assignments as a (2^m, m) int8 array of +-1 (cached)."""
-    if m not in _SPIN_TABLE_CACHE:
+    """All 2^m spin assignments as a (2^m, m) int8 array of +-1 (cached).
+
+    The cache is an LRU bounded by total bytes (see
+    :func:`set_spin_table_cache_bytes`), so a long-running sweep over many
+    component sizes keeps its working set resident without pinning the
+    largest table ever built forever.
+    """
+    table = _SPIN_TABLE_CACHE.get(m)
+    if table is None:
         idx = np.arange(2**m, dtype=np.uint32)
         cols = [
             1 - 2 * ((idx >> (m - 1 - i)) & 1).astype(np.int8) for i in range(m)
         ]
-        _SPIN_TABLE_CACHE[m] = np.stack(cols, axis=1)
-        # Keep only a handful of large tables resident.
-        big = [k for k in _SPIN_TABLE_CACHE if k >= 14]
-        if len(big) > 3:
-            del _SPIN_TABLE_CACHE[min(big)]
-    return _SPIN_TABLE_CACHE[m]
+        table = np.stack(cols, axis=1) if m else np.zeros((1, 0), dtype=np.int8)
+        _SPIN_TABLE_CACHE[m] = table
+    else:
+        _SPIN_TABLE_CACHE.move_to_end(m)
+    _evict_spin_tables()
+    return table
 
 
 #: Spin-table blocks larger than this many (spin, edge) entries are
@@ -203,6 +252,295 @@ def _component_amplitudes_vectorized(
             chi = np.ones(block.shape[0])
         amps += np.exp(1.0j * phase) @ chi
     return weight * amps
+
+
+@dataclass(frozen=True)
+class _PlanComponent:
+    """Cached contraction data for one coupling-graph component.
+
+    ``blocks`` holds the pre-chunked spin-table artifacts: the float64
+    ``(S, E)`` pair-product matrix, the ``(S, L)`` linear-spin matrix and
+    the ``(S,)`` character vector — everything circuit-static the hot
+    loop used to recompute per evaluation.  In streaming mode
+    (``precompute=False``) ``blocks`` is ``None`` and the artifacts are
+    rebuilt transiently per evaluation from the index arrays, trading
+    repeat-evaluation speed for zero resident block memory.
+    """
+
+    weight: float
+    m: int
+    edge_cols: np.ndarray
+    lin_cols: np.ndarray
+    i_idx: np.ndarray
+    j_idx: np.ndarray
+    lin_idx: np.ndarray
+    z_idx: np.ndarray
+    blocks: tuple[tuple[np.ndarray, np.ndarray, np.ndarray], ...] | None
+
+    def iter_blocks(self):
+        """Yield ``(pair, lin, chi)`` blocks, cached or rebuilt on the fly."""
+        if self.blocks is not None:
+            yield from self.blocks
+            return
+        spins = _spin_table(self.m)
+        for start in range(0, spins.shape[0], _CHUNK_SPINS):
+            yield _spin_blocks(
+                spins[start : start + _CHUNK_SPINS],
+                self.i_idx,
+                self.j_idx,
+                self.lin_idx,
+                self.z_idx,
+            )
+
+
+def _spin_blocks(
+    block: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    lin_idx: np.ndarray,
+    z_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One spin chunk's pair-product / linear / character arrays."""
+    pair = (block[:, i_idx] * block[:, j_idx]).astype(np.float64)
+    lin = block[:, lin_idx].astype(np.float64)
+    if z_idx.size:
+        chi = np.prod(block[:, z_idx], axis=1).astype(np.float64)
+    else:
+        chi = np.ones(block.shape[0])
+    return pair, lin, chi
+
+
+#: Resident-byte bound for one plan's cached blocks.  Compilation above
+#: this raises ``ValueError`` so callers fall back to the per-call
+#: evaluation path instead of pinning gigabytes of pair products.
+MAX_PLAN_BYTES = 512 * 1024 * 1024
+
+
+class ContractionPlan:
+    """Pre-contracted evaluation plan for one XX term structure.
+
+    A plan fixes everything about a test circuit that does not change
+    across noise realizations, trials, or magnitude sweep points: the
+    coupling-graph components, the per-component local edge/linear
+    indexing, the expected-bitstring characters, and — most importantly —
+    the ``(S, E)`` spin-table pair-product blocks.  Evaluating a batch of
+    realizations then reduces to one ``(B, E) @ (E, S)`` matmul per
+    block instead of re-deriving the graph and re-multiplying spin
+    columns per call.
+
+    Parameters
+    ----------
+    n_qubits:
+        Register width of the underlying circuit.
+    edge_keys:
+        Coupling pairs in **column order**: row ``g`` of a ``thetas``
+        matrix passed to :meth:`amplitudes` carries realization ``g``'s
+        accumulated XX angle for ``edge_keys[e]`` in column ``e``.
+    linear_keys:
+        Qubits with linear (RX-like) terms, defining ``lin_thetas``
+        column order.
+    bitstring:
+        The output state whose amplitude the plan computes.
+    max_exact_qubits:
+        Components above this size raise ``ValueError`` (callers fall
+        back to per-realization Monte-Carlo evaluation).
+    max_plan_bytes:
+        Resident-byte bound for the cached blocks (default
+        :data:`MAX_PLAN_BYTES`); structures whose blocks would exceed it
+        raise ``ValueError`` before anything is materialized.
+    precompute:
+        ``True`` (the default) caches the spin blocks for repeated
+        evaluation; ``False`` streams them transiently per evaluation —
+        the right mode for one-shot calls, and exempt from
+        ``max_plan_bytes`` since nothing stays resident.
+    """
+
+    def __init__(
+        self,
+        n_qubits: int,
+        edge_keys: list[frozenset[int]],
+        linear_keys: list[int],
+        bitstring: int,
+        max_exact_qubits: int = 20,
+        max_plan_bytes: int = MAX_PLAN_BYTES,
+        precompute: bool = True,
+    ):
+        if not 0 <= bitstring < 2**n_qubits:
+            raise ValueError("bitstring out of range")
+        self.n_qubits = n_qubits
+        self.edge_keys = list(edge_keys)
+        self.linear_keys = list(linear_keys)
+        self.bitstring = bitstring
+        self.max_exact_qubits = max_exact_qubits
+        touched: set[int] = set()
+        for e in self.edge_keys:
+            touched.update(e)
+        touched.update(self.linear_keys)
+        z_bits = [(bitstring >> (n_qubits - 1 - q)) & 1 for q in range(n_qubits)]
+        self.forced_zero = any(
+            z_bits[q] for q in range(n_qubits) if q not in touched
+        )
+        components = _connected_components(
+            touched, {e: 0.0 for e in self.edge_keys}
+        )
+        if self.forced_zero:
+            # The amplitude is identically zero; skip compilation (and the
+            # exact-size check — nothing will be summed).
+            components = []
+        elif any(len(c) > max_exact_qubits for c in components):
+            raise ValueError(
+                "component exceeds the exact-summation limit; "
+                "use per-realization Monte-Carlo evaluation"
+            )
+        self.component_qubits = components
+        if precompute:
+            # Size the resident blocks before materializing anything:
+            # per spin, E + L float64 products plus the chi vector.
+            plan_bytes = 0
+            for comp in components:
+                local = set(comp)
+                n_edges = sum(1 for e in self.edge_keys if min(e) in local)
+                n_lin = sum(1 for q in self.linear_keys if q in local)
+                plan_bytes += 2 ** len(comp) * 8 * (n_edges + n_lin + 1)
+            if plan_bytes > max_plan_bytes:
+                raise ValueError(
+                    f"plan blocks would pin {plan_bytes} resident bytes "
+                    f"(bound {max_plan_bytes}); use a streaming plan "
+                    "(precompute=False) or the per-call evaluation path"
+                )
+        self._components = tuple(
+            self._compile_component(comp, z_bits, precompute)
+            for comp in components
+        )
+        #: Largest spin-chunk length, for memory-budget row chunking.
+        self._max_block_spins = max(
+            (min(2**c.m, _CHUNK_SPINS) for c in self._components),
+            default=1,
+        )
+
+    def _compile_component(
+        self, comp: list[int], z_bits: list[int], precompute: bool
+    ) -> _PlanComponent:
+        """Hoist one component's spin-table contraction artifacts."""
+        m = len(comp)
+        local = {q: k for k, q in enumerate(comp)}
+        edge_cols = np.array(
+            [c for c, e in enumerate(self.edge_keys) if min(e) in local],
+            dtype=np.intp,
+        )
+        lin_cols = np.array(
+            [c for c, q in enumerate(self.linear_keys) if q in local],
+            dtype=np.intp,
+        )
+        i_idx = np.array(
+            [local[min(self.edge_keys[c])] for c in edge_cols], dtype=np.intp
+        )
+        j_idx = np.array(
+            [local[max(self.edge_keys[c])] for c in edge_cols], dtype=np.intp
+        )
+        lin_idx = np.array(
+            [local[self.linear_keys[c]] for c in lin_cols], dtype=np.intp
+        )
+        z_idx = np.array(
+            [k for k, q in enumerate(comp) if z_bits[q]], dtype=np.intp
+        )
+        blocks = None
+        if precompute:
+            spins = _spin_table(m)
+            blocks = tuple(
+                _spin_blocks(
+                    spins[start : start + _CHUNK_SPINS],
+                    i_idx,
+                    j_idx,
+                    lin_idx,
+                    z_idx,
+                )
+                for start in range(0, spins.shape[0], _CHUNK_SPINS)
+            )
+        return _PlanComponent(
+            weight=1.0 / 2**m,
+            m=m,
+            edge_cols=edge_cols,
+            lin_cols=lin_cols,
+            i_idx=i_idx,
+            j_idx=j_idx,
+            lin_idx=lin_idx,
+            z_idx=z_idx,
+            blocks=blocks,
+        )
+
+    def amplitudes(
+        self,
+        thetas: np.ndarray,
+        lin_thetas: np.ndarray | None = None,
+        max_batch_bytes: int | None = None,
+    ) -> np.ndarray:
+        """Per-realization amplitudes ``<z|U_g|0...0>`` from angle rows.
+
+        Parameters
+        ----------
+        thetas:
+            ``(B, E)`` accumulated XX angles, columns ordered as
+            ``edge_keys``.
+        lin_thetas:
+            ``(B, L)`` accumulated linear angles (``linear_keys`` order);
+            may be omitted when the plan has no linear terms.
+        max_batch_bytes:
+            When set, realization rows are processed in chunks sized so
+            the transient phase/exponential blocks stay within this
+            budget (peak memory stays bounded for very large batches).
+        """
+        thetas = np.asarray(thetas, dtype=np.float64)
+        if thetas.ndim != 2 or thetas.shape[1] != len(self.edge_keys):
+            raise ValueError(
+                f"thetas must be (B, {len(self.edge_keys)}); got {thetas.shape}"
+            )
+        n_batch = thetas.shape[0]
+        if self.linear_keys:
+            if lin_thetas is None:
+                raise ValueError("plan has linear terms; lin_thetas required")
+            lin_thetas = np.asarray(lin_thetas, dtype=np.float64)
+            if lin_thetas.shape != (n_batch, len(self.linear_keys)):
+                raise ValueError(
+                    f"lin_thetas must be (B, {len(self.linear_keys)})"
+                )
+        if self.forced_zero:
+            return np.zeros(n_batch, dtype=complex)
+        if max_batch_bytes is None:
+            rows = n_batch
+        else:
+            # Transient per chunk: (rows, S) float64 phase + complex exp.
+            rows = max(1, max_batch_bytes // (24 * self._max_block_spins))
+        amps = np.ones(n_batch, dtype=complex)
+        for start in range(0, n_batch, max(rows, 1)):
+            stop = min(start + rows, n_batch)
+            th = thetas[start:stop]
+            ln = lin_thetas[start:stop] if self.linear_keys else None
+            for comp in self._components:
+                part = np.zeros(stop - start, dtype=complex)
+                comp_th = -0.5 * th[:, comp.edge_cols]
+                comp_ln = (
+                    -0.5 * ln[:, comp.lin_cols]
+                    if ln is not None and comp.lin_cols.size
+                    else None
+                )
+                for pair, lin, chi in comp.iter_blocks():
+                    phase = comp_th @ pair.T
+                    if comp_ln is not None:
+                        phase += comp_ln @ lin.T
+                    part += np.exp(1.0j * phase) @ chi
+                amps[start:stop] *= comp.weight * part
+        return amps
+
+    def probabilities(
+        self,
+        thetas: np.ndarray,
+        lin_thetas: np.ndarray | None = None,
+        max_batch_bytes: int | None = None,
+    ) -> np.ndarray:
+        """Per-realization probabilities of the bitstring, clipped to [0, 1]."""
+        amps = self.amplitudes(thetas, lin_thetas, max_batch_bytes)
+        return np.clip(np.abs(amps) ** 2, 0.0, 1.0)
 
 
 class XXCircuitEvaluator:
@@ -322,6 +660,7 @@ def batch_amplitudes_from_terms(
     linear_angles: dict[int, np.ndarray],
     bitstring: int,
     max_exact_qubits: int = 20,
+    max_batch_bytes: int | None = None,
 ) -> np.ndarray:
     """Per-realization amplitudes from array-valued coupling terms.
 
@@ -329,63 +668,45 @@ def batch_amplitudes_from_terms(
     ``(G,)`` values in both dicts).  Every coupling-graph component is
     summed once over its shared spin table, contracting all G realization
     rows in a single matmul — this is the batched spin-table evaluation
-    behind the virtual machine's shot-batched XX path.
+    behind the virtual machine's shot-batched XX path.  Internally this
+    builds a one-shot *streaming* :class:`ContractionPlan` (spin blocks
+    are materialized transiently, never pinned); callers evaluating the
+    same circuit structure repeatedly should build a precomputing plan
+    themselves and reuse it (see
+    :class:`~repro.trap.machine.CompiledBattery`).
+
+    ``max_batch_bytes`` chunks the realization rows so transient memory
+    stays bounded for very large batches (full-size N = 32 runs).
 
     Raises ``ValueError`` when a component exceeds ``max_exact_qubits``
     (callers fall back to per-realization Monte-Carlo evaluation).
     """
-    if not 0 <= bitstring < 2**n_qubits:
-        raise ValueError("bitstring out of range")
-    touched: set[int] = set()
-    for e in edge_angles:
-        touched.update(e)
-    touched.update(linear_angles)
-    z_bits = [(bitstring >> (n_qubits - 1 - q)) & 1 for q in range(n_qubits)]
     sizes = {len(v) for v in edge_angles.values()}
     sizes.update(len(v) for v in linear_angles.values())
     if len(sizes) != 1:
         raise ValueError("term arrays must share one realization count")
     n_batch = sizes.pop()
-    for q in range(n_qubits):
-        if q not in touched and z_bits[q]:
-            return np.zeros(n_batch, dtype=complex)
-    components = _connected_components(
-        touched, {e: 0.0 for e in edge_angles}
+    edge_keys = list(edge_angles)
+    linear_keys = list(linear_angles)
+    plan = ContractionPlan(
+        n_qubits,
+        edge_keys,
+        linear_keys,
+        bitstring,
+        max_exact_qubits=max_exact_qubits,
+        precompute=False,
     )
-    if any(len(c) > max_exact_qubits for c in components):
-        raise ValueError(
-            "component exceeds the exact-summation limit; "
-            "use per-realization Monte-Carlo evaluation"
-        )
-    amps = np.ones(n_batch, dtype=complex)
-    for comp in components:
-        m = len(comp)
-        local = {q: k for k, q in enumerate(comp)}
-        edge_keys = [e for e in edge_angles if min(e) in local]
-        lin_keys = [q for q in linear_angles if q in local]
-        thetas = (
-            np.stack([edge_angles[e] for e in edge_keys], axis=1)
-            if edge_keys
-            else np.zeros((n_batch, 0))
-        )
-        lin_thetas = (
-            np.stack([linear_angles[q] for q in lin_keys], axis=1)
-            if lin_keys
-            else np.zeros((n_batch, 0))
-        )
-        amps *= _component_amplitudes_vectorized(
-            _spin_table(m),
-            1.0 / 2**m,
-            np.array([local[min(e)] for e in edge_keys], dtype=np.intp),
-            np.array([local[max(e)] for e in edge_keys], dtype=np.intp),
-            thetas,
-            np.array([local[q] for q in lin_keys], dtype=np.intp),
-            lin_thetas,
-            np.array(
-                [k for k, q in enumerate(comp) if z_bits[q]], dtype=np.intp
-            ),
-        )
-    return amps
+    thetas = (
+        np.stack([edge_angles[e] for e in edge_keys], axis=1)
+        if edge_keys
+        else np.zeros((n_batch, 0))
+    )
+    lin_thetas = (
+        np.stack([linear_angles[q] for q in linear_keys], axis=1)
+        if linear_keys
+        else None
+    )
+    return plan.amplitudes(thetas, lin_thetas, max_batch_bytes=max_batch_bytes)
 
 
 class XXBatchEvaluator:

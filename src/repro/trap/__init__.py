@@ -18,7 +18,7 @@ from .faults import (
     Unitarity,
     classify_fault,
 )
-from .machine import MachineStats, VirtualIonTrap
+from .machine import CompiledBattery, CompiledTest, MachineStats, VirtualIonTrap
 from .timing import TimingModel
 
 __all__ = [
@@ -35,5 +35,7 @@ __all__ = [
     "classify_fault",
     "MachineStats",
     "VirtualIonTrap",
+    "CompiledBattery",
+    "CompiledTest",
     "TimingModel",
 ]

@@ -1,0 +1,101 @@
+"""The config-sweep runner: grid construction, cache round-trip, CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import runner
+
+
+def test_sweep_grid_order_and_validation():
+    grid = runner.sweep_grid({"a": [1, 2], "b": ["x"]})
+    assert grid == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+    with pytest.raises(ValueError):
+        runner.sweep_grid({})
+    with pytest.raises(ValueError):
+        runner.sweep_grid({"a": []})
+
+
+def test_run_sweep_round_trips_through_cache(tmp_path):
+    """A sweep populates the cache; the rerun is served entirely from disk."""
+    sweep = {"shots": [100, 300], "repetitions": [2, 4]}
+    first = runner.run_sweep(
+        "fig10", sweep, preset="smoke", cache_dir=tmp_path
+    )
+    assert [point for point, _ in first] == runner.sweep_grid(sweep)
+    assert not any(record.cache_hit for _, record in first)
+    digests = {record.config_digest for _, record in first}
+    assert len(digests) == 4  # every point keys its own cache entry
+    rerun = runner.run_sweep(
+        "fig10", sweep, preset="smoke", cache_dir=tmp_path
+    )
+    assert all(record.cache_hit for _, record in rerun)
+    assert [r.config_digest for _, r in rerun] == [
+        r.config_digest for _, r in first
+    ]
+    # Point configs reflect their overrides.
+    for point, record in rerun:
+        assert record.payload["config"]["shots"] == point["shots"]
+
+
+def test_run_sweep_rejects_conflicts_and_fans_out(tmp_path):
+    with pytest.raises(ValueError, match="duplicate"):
+        runner.run_sweep(
+            "fig10",
+            {"shots": [100]},
+            base_overrides={"shots": 300},
+            cache_dir=tmp_path,
+        )
+    results = runner.run_sweep(
+        "fig10",
+        {"shots": [100, 200, 300]},
+        preset="smoke",
+        jobs=2,
+        cache_dir=tmp_path,
+    )
+    assert [point["shots"] for point, _ in results] == [100, 200, 300]
+    assert all(record.payload["result"] for _, record in results)
+
+
+def test_cached_payloads_carry_provenance(tmp_path):
+    record = runner.run_experiment("fig10", preset="smoke", cache_dir=tmp_path)
+    prov = record.payload["provenance"]
+    from repro import __version__
+
+    assert prov["repro_version"] == __version__
+    assert prov["config_digest"] == record.config_digest
+    assert "git_sha" in prov
+
+
+def test_cli_sweep_emits_per_point_files(tmp_path):
+    """``--sweep`` runs the grid in-process and emits digest-suffixed JSON."""
+    code = main(
+        [
+            "run",
+            "fig10",
+            "--smoke",
+            "--sweep",
+            "shots=[100,300]",
+            "--out",
+            str(tmp_path / "out"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+    )
+    assert code == 0
+    files = sorted((tmp_path / "out").glob("fig10-smoke-*.json"))
+    assert len(files) == 2
+    shots = sorted(
+        json.loads(f.read_text())["config"]["shots"] for f in files
+    )
+    assert shots == [100, 300]
+
+
+def test_cli_sweep_rejects_bad_specs(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["run", "fig10", "--sweep", "shots"])
+    with pytest.raises(SystemExit):
+        main(["run", "fig10", "--sweep", "shots=[]"])
+    with pytest.raises(SystemExit):
+        main(["run", "fig10", "fig11", "--sweep", "shots=[100]"])
