@@ -14,8 +14,9 @@ Subcommands
     Cartesian grid of the swept fields, sharing the cache across points.
 ``bench``
     Run the benchmark registry (compiled-battery sweep broadcast,
-    batched simulation paths, contraction-plan reuse), print the
-    speedups and emit a schema'd ``BENCH_<label>.json`` record.
+    batched simulation paths, the fig6/fig7 compiled-dense batteries,
+    contraction-plan reuse), print the speedups and emit a schema'd
+    ``BENCH_<label>.json`` record.
 
 Examples
 --------

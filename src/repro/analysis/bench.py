@@ -17,6 +17,16 @@ Registered cases
 ``fig8-sweep-broadcast``
     The compiled-battery magnitude-broadcast fig8 sweep vs the PR 1
     batched per-point loop (the headline case of PR 2).
+``fig6-dense``
+    The fig6 experiment with its batteries evaluated through compiled
+    dense plans vs the per-test executor loop (``compiled=False``).
+``fig7-dense``
+    The headline dense-plan case: the fig7 threshold-calibration
+    battery (2/4/8-repetition families) evaluated for 24 trials of each
+    test under the full Sec. VI error model — compiled batteries stack
+    all trials x realization groups of a test into one chunked dense
+    batch with fused apply groups, vs the per-trial executor loop on
+    the uncompiled dense path.
 ``xx-contraction-plan``
     Micro-benchmark: reusing a :class:`~repro.sim.xx_engine.ContractionPlan`
     vs rebuilding the spin-table contraction on every call.
@@ -117,6 +127,56 @@ def _plan_micro_workload(reuse_plan: bool, iterations: int = 400) -> None:
             )
 
 
+def _fig7_dense_battery_workload(
+    compiled: bool, trials: int = 24, shots: int = 200, realizations: int = 4
+) -> None:
+    """Repeated trials of the fig7 threshold-calibration batteries.
+
+    Mirrors the per-test structure of fig7's threshold calibration under
+    the full Sec. VI error model (amplitude + phase noise + residual
+    kicks — the dense-engine setting): every test of the 2/4/8-repetition
+    battery families runs ``trials`` times on one machine, shot-batched
+    into ``realizations`` noise-realization groups per trial on both
+    paths.  ``compiled=True`` evaluates each test's whole
+    trials-times-groups block as a single chunked dense batch through
+    the battery's cached :class:`~repro.sim.dense_plan.DensePlan`;
+    ``compiled=False`` is the pre-compilation reference — a per-trial
+    ``TestExecutor`` loop on a ``dense_compiled=False`` machine.
+    """
+    from ..analysis.detection import CalibratedThresholds
+    from ..core.protocol import TestExecutor, compile_test_battery
+    from ..noise.models import NoiseParameters
+    from ..trap.machine import VirtualIonTrap
+    from .experiments.fig6 import battery_specs
+
+    n_qubits = 8
+    noise = NoiseParameters(
+        amplitude_sigma=0.10,
+        residual_odd_population=0.01,
+        phase_noise_rms=0.05,
+    )
+    machine = VirtualIonTrap(
+        n_qubits,
+        noise=noise,
+        seed=3,
+        noise_realizations=realizations,
+        dense_compiled=compiled,
+    )
+    executor = TestExecutor(
+        machine, thresholds=CalibratedThresholds(default=0.5), shots=shots
+    )
+    for repetitions in (2, 4, 8):
+        specs = battery_specs(n_qubits, repetitions)
+        if compiled:
+            battery = compile_test_battery(n_qubits, specs)
+            for index in range(len(specs)):
+                battery.trial_fidelities(machine, index, shots, trials=trials)
+        else:
+            for spec in specs:
+                for _ in range(trials):
+                    executor.execute(spec)
+
+
 def bench_cases(preset: str = "smoke") -> list[BenchCase]:
     """The registered benchmark cases at the given preset."""
     repeats = 2 if preset == "smoke" else 1
@@ -134,7 +194,10 @@ def bench_cases(preset: str = "smoke") -> list[BenchCase]:
             "fig7",
             "slot-batched machine vs per-realization reference",
             preset,
-            reference_overrides={"batched": False},
+            # Both sides keep compiled=False so this case isolates the
+            # PR 1 batching axis; fig7-dense measures the compiled axis.
+            reference_overrides={"batched": False, "compiled": False},
+            optimized_overrides={"compiled": False},
             repeats=1,
         ),
         _experiment_case(
@@ -144,6 +207,24 @@ def bench_cases(preset: str = "smoke") -> list[BenchCase]:
             preset,
             reference_overrides={"broadcast": False},
             optimized_overrides={"broadcast": True},
+            repeats=repeats,
+        ),
+        _experiment_case(
+            "fig6-dense",
+            "fig6",
+            "compiled dense-plan batteries vs per-test executor loop",
+            preset,
+            reference_overrides={"compiled": False},
+            repeats=repeats,
+        ),
+        BenchCase(
+            name="fig7-dense",
+            description=(
+                "fig7 calibration batteries, 24 trials x 4 realization "
+                "groups: stacked compiled-dense batch vs per-trial loop"
+            ),
+            reference=lambda: _fig7_dense_battery_workload(compiled=False),
+            optimized=lambda: _fig7_dense_battery_workload(compiled=True),
             repeats=repeats,
         ),
         BenchCase(

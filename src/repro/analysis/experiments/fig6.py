@@ -28,7 +28,12 @@ import numpy as np
 
 from ...core.combinatorics import all_couplings
 from ...core.multi_fault import _equal_bits_specs
-from ...core.protocol import FixedThresholds, TestExecutor, TestResult
+from ...core.protocol import (
+    FixedThresholds,
+    TestExecutor,
+    compile_test_battery,
+    execute_compiled_battery,
+)
 from ...core.single_fault import SingleFaultProtocol
 from ...core.tests_builder import TestSpec
 from ...noise.models import NoiseParameters
@@ -63,6 +68,10 @@ class Fig6Config:
     residual_odd_population: float = 0.012
     phase_noise_rms: float = 0.08
     spam_flip: float = 0.005
+    #: Evaluate the batteries through their compiled dense plans (one
+    #: stacked realization batch per test); ``False`` selects the
+    #: per-test ``TestExecutor`` reference loop (for benchmarking).
+    compiled: bool = True
     seed: int = 6
 
 
@@ -153,7 +162,9 @@ def run_fig6(cfg: Fig6Config | None = None) -> Fig6Result:
         phase_noise_rms=cfg.phase_noise_rms,
         spam=SpamModel(cfg.spam_flip, cfg.spam_flip) if cfg.spam_flip else None,
     )
-    machine = VirtualIonTrap(cfg.n_qubits, noise=noise, seed=cfg.seed)
+    machine = VirtualIonTrap(
+        cfg.n_qubits, noise=noise, seed=cfg.seed, dense_compiled=cfg.compiled
+    )
     fault_pairs: set[Pair] = set()
     for pair, under in cfg.faults:
         machine.inject_fault(CouplingFault(frozenset(pair), under))
@@ -165,8 +176,19 @@ def run_fig6(cfg: Fig6Config | None = None) -> Fig6Result:
     executor = TestExecutor(machine, thresholds=thresholds, shots=cfg.shots)
     rows: list[Fig6Row] = []
     for repetitions in (2, 4):
-        for spec in battery_specs(cfg.n_qubits, repetitions):
-            result: TestResult = executor.execute(spec)
+        specs = battery_specs(cfg.n_qubits, repetitions)
+        if cfg.compiled:
+            battery = compile_test_battery(cfg.n_qubits, specs)
+            results = execute_compiled_battery(
+                machine,
+                specs,
+                battery=battery,
+                thresholds=thresholds,
+                shots=cfg.shots,
+            )
+        else:
+            results = executor.execute_batch(specs)
+        for spec, result in zip(specs, results):
             rows.append(
                 Fig6Row(
                     test_name=spec.name,

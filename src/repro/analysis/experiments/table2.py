@@ -134,6 +134,8 @@ def run_table2(cfg: Table2Config | None = None) -> list[Table2Cell]:
     Each cell's fault sets are graded independently; ``cfg.jobs > 1``
     splits them into chunks evaluated across worker processes.
     """
+    from ..runner import fan_out
+
     cfg = cfg or Table2Config()
     rng = np.random.default_rng(cfg.seed)
     cells: list[Table2Cell] = []
@@ -149,8 +151,6 @@ def run_table2(cfg: Table2Config | None = None) -> list[Table2Cell]:
                     [pairs[i] for i in rng.choice(len(pairs), k, replace=False)]
                     for _ in range(cfg.mc_trials)
                 ]
-            from ..runner import fan_out
-
             if cfg.jobs > 1 and len(fault_sets) > 1:
                 n_chunks = min(cfg.jobs * 4, len(fault_sets))
                 bounds = np.linspace(0, len(fault_sets), n_chunks + 1).astype(int)

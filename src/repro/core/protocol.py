@@ -28,6 +28,7 @@ __all__ = [
     "TestExecutor",
     "DiagnosisReport",
     "compile_test_battery",
+    "execute_compiled_battery",
 ]
 
 Pair = frozenset[int]
@@ -185,6 +186,73 @@ def compile_test_battery(
         for spec in specs
     ]
     return CompiledBattery(n_qubits, items, max_exact_qubits=max_exact_qubits)
+
+
+def execute_compiled_battery(
+    machine,
+    specs: list[TestSpec],
+    battery=None,
+    thresholds: ThresholdPolicy | None = None,
+    shots: int = 300,
+    realizations: int | None = None,
+) -> list[TestResult]:
+    """Run a predetermined battery through its compiled form.
+
+    The compiled counterpart of ``TestExecutor.execute_batch``: each
+    spec's circuit-static structure (XX contraction plan or dense plan)
+    is built once in the battery and every execution evaluates all
+    noise-realization groups in a single stacked pass — under the full
+    Sec. VI error model this is the compiled *dense* path of Figs. 6/7.
+    Pass a pre-built ``battery`` (from :func:`compile_test_battery`, with
+    tests in ``specs`` order) to amortize compilation across trial
+    machines; otherwise one is compiled on the fly.
+
+    Results are statistically equivalent to the per-test
+    :class:`TestExecutor` loop (the RNG stream is consumed in a different
+    order).  ``machine`` must be a
+    :class:`~repro.trap.machine.VirtualIonTrap` (the compiled paths need
+    its noise internals, not just the ``run_match`` surface).
+    """
+    if battery is None:
+        battery = compile_test_battery(
+            machine.n_qubits, specs, max_exact_qubits=machine.max_exact_qubits
+        )
+    elif len(battery.tests) != len(specs):
+        raise ValueError(
+            f"battery holds {len(battery.tests)} tests for "
+            f"{len(specs)} specs; compile it from this spec list"
+        )
+    if thresholds is None:
+        thresholds = FixedThresholds()
+    results: list[TestResult] = []
+    for index, spec in enumerate(specs):
+        threshold = thresholds.threshold_for(spec.repetitions, spec.kind)
+        if not spec.pairs:
+            results.append(
+                TestResult(
+                    spec=spec, fidelity=1.0, threshold=threshold, shots=shots
+                )
+            )
+            continue
+        ct = battery.tests[index]
+        if ct.expected != expected_output(
+            spec, machine.n_qubits
+        ) or ct.two_qubit_depth != len(spec.pairs) * spec.repetitions:
+            raise ValueError(
+                f"battery test {index} does not match spec {spec.name!r}; "
+                "compile the battery from this spec list (same order)"
+            )
+        fidelity = float(
+            battery.trial_fidelities(
+                machine, index, shots, trials=1, realizations=realizations
+            )[0]
+        )
+        results.append(
+            TestResult(
+                spec=spec, fidelity=fidelity, threshold=threshold, shots=shots
+            )
+        )
+    return results
 
 
 @dataclass

@@ -5,10 +5,17 @@
 * :mod:`repro.sim.statevector` — dense reference simulator (<= 22 qubits).
 * :mod:`repro.sim.xx_engine` — exact fast engine for commuting-XX test
   circuits, enabling the paper's 32-qubit scaling studies.
+* :mod:`repro.sim.dense_plan` — compiled evaluation plans for the dense
+  path (compaction, permutations, fused apply groups cached per circuit).
 * :mod:`repro.sim.sampling` — measurement counts utilities.
+
+Both engines share the :class:`~repro.sim.xx_engine.CompiledPlan`
+protocol: compile a circuit's static structure once, evaluate every
+noise realization of every trial against it.
 """
 
 from .circuit import Circuit, Operation
+from .dense_plan import DensePlan, DensePlanCache
 from .sampling import (
     Counts,
     match_fraction,
@@ -23,7 +30,12 @@ from .statevector import (
     simulate,
     zero_state,
 )
-from .xx_engine import ContractionPlan, XXBatchEvaluator, XXCircuitEvaluator
+from .xx_engine import (
+    CompiledPlan,
+    ContractionPlan,
+    XXBatchEvaluator,
+    XXCircuitEvaluator,
+)
 
 __all__ = [
     "Circuit",
@@ -38,7 +50,10 @@ __all__ = [
     "simulate",
     "zero_state",
     "MAX_DENSE_QUBITS",
+    "CompiledPlan",
     "ContractionPlan",
+    "DensePlan",
+    "DensePlanCache",
     "XXBatchEvaluator",
     "XXCircuitEvaluator",
 ]

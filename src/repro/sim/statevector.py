@@ -27,6 +27,9 @@ __all__ = [
     "zero_state",
     "simulate",
     "circuits_aligned",
+    "axis_permutations",
+    "permutation_cache_info",
+    "subregister_bitstring",
     "batched_matrices",
     "batched_matrices_from_params",
     "realization_chunks",
@@ -176,6 +179,70 @@ def realization_chunks(
     ]
 
 
+#: Axis permutations keyed by ``(n_qubits, qubits)``.  Module-level so the
+#: cache survives across the short-lived :class:`BatchedStatevectorSimulator`
+#: instances the machine constructs per call — one build per gate-target
+#: pattern per register width, ever.
+_PERM_CACHE: dict[
+    tuple[int, tuple[int, ...]], tuple[tuple[int, ...], tuple[int, ...]]
+] = {}
+
+#: How many permutations have been derived (cache misses); exposed via
+#: :func:`permutation_cache_info` so plan-reuse tests can assert that a
+#: warm path performs no rebuilds.
+_PERM_BUILDS = 0
+
+
+def axis_permutations(
+    n_qubits: int, qubits: tuple[int, ...]
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Axis permutations pulling ``qubits`` to the front of a batched state.
+
+    Returns ``(forward, inverse)`` for a ``(B, 2, ..., 2)`` state tensor
+    (batch axis first): ``forward`` moves the target-qubit axes directly
+    behind the batch axis, ``inverse`` undoes it.  Results are cached at
+    module level, keyed by ``(n_qubits, qubits)``.
+    """
+    global _PERM_BUILDS
+    key = (n_qubits, qubits)
+    cached = _PERM_CACHE.get(key)
+    if cached is None:
+        rest = [1 + q for q in range(n_qubits) if q not in qubits]
+        forward = (0, *(1 + q for q in qubits), *rest)
+        order = np.argsort(forward)
+        inverse = tuple(int(i) for i in order)
+        cached = (forward, inverse)
+        _PERM_CACHE[key] = cached
+        _PERM_BUILDS += 1
+    return cached
+
+
+def permutation_cache_info() -> dict[str, int]:
+    """Occupancy and build count of the module-level permutation cache."""
+    return {"entries": len(_PERM_CACHE), "builds": _PERM_BUILDS}
+
+
+def subregister_bitstring(
+    n_qubits: int, touched: list[int], bitstring: int
+) -> tuple[int, bool]:
+    """Project a full-width bitstring onto a compacted sub-register.
+
+    Returns ``(sub_bitstring, forced_zero)`` where ``forced_zero`` is True
+    when an *untouched* qubit would have to read ``1`` — impossible from
+    ``|0...0>``, so the amplitude is identically zero.  ``touched`` must be
+    sorted ascending (the compaction order used throughout the dense
+    paths).
+    """
+    touched_set = set(touched)
+    for q in range(n_qubits):
+        if q not in touched_set and (bitstring >> (n_qubits - 1 - q)) & 1:
+            return 0, True
+    sub = 0
+    for q in touched:
+        sub = (sub << 1) | ((bitstring >> (n_qubits - 1 - q)) & 1)
+    return sub, False
+
+
 def circuits_aligned(circuits: list[Circuit]) -> bool:
     """True if all circuits share one op skeleton (gate names and qubits).
 
@@ -287,22 +354,17 @@ class BatchedStatevectorSimulator:
         self.batch = batch
         self.states = np.zeros((batch, 2**n_qubits), dtype=complex)
         self.states[:, 0] = 1.0
-        self._perm_cache: dict[tuple[int, ...], tuple[tuple[int, ...], tuple[int, ...]]] = {}
 
     def _permutations(
         self, qubits: tuple[int, ...]
     ) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        """Axis permutations pulling ``qubits`` to the front (and back)."""
-        cached = self._perm_cache.get(qubits)
-        if cached is None:
-            rest = [
-                1 + q for q in range(self.n_qubits) if q not in qubits
-            ]
-            forward = (0, *(1 + q for q in qubits), *rest)
-            inverse = tuple(int(np.argsort(forward)[i]) for i in range(len(forward)))
-            cached = (forward, inverse)
-            self._perm_cache[qubits] = cached
-        return cached
+        """Axis permutations pulling ``qubits`` to the front (and back).
+
+        Served from the module-level cache (:func:`axis_permutations`), so
+        the derivation survives across the per-call simulator instances
+        the virtual machine constructs in its trial loops.
+        """
+        return axis_permutations(self.n_qubits, qubits)
 
     def apply_gates(self, us: np.ndarray, qubits: tuple[int, ...]) -> None:
         """Apply per-batch-entry gates ``us`` (shape ``(B, d, d)``) in place."""
@@ -355,11 +417,25 @@ class BatchedStatevectorSimulator:
     def sample_counts_per_entry(
         self, shots_per_entry: list[int], rng: np.random.Generator
     ) -> list[Counts]:
-        """One multinomial counts map per batch entry."""
+        """One multinomial counts map per batch entry.
+
+        All entries are drawn with a single stacked multinomial over the
+        ``(B, 2^n)`` probability block — one RNG call instead of one per
+        entry (equivalent in distribution; the stream is consumed in a
+        different order than a per-entry loop).
+        """
         if len(shots_per_entry) != self.batch:
             raise ValueError("need one shot count per batch entry")
-        probs = self.probabilities()
-        return [
-            sample_counts_from_probs(probs[b], shots, rng)
-            for b, shots in enumerate(shots_per_entry)
-        ]
+        shots = np.asarray(shots_per_entry, dtype=np.int64)
+        if np.any(shots <= 0):
+            raise ValueError("shots must be positive")
+        probs = np.clip(self.probabilities(), 0.0, None)
+        totals = probs.sum(axis=1, keepdims=True)
+        if np.any(totals <= 0):
+            raise ValueError("probability vector sums to zero")
+        draws = rng.multinomial(shots, probs / totals)
+        rows, cols = np.nonzero(draws)
+        out: list[Counts] = [{} for _ in range(self.batch)]
+        for b, k in zip(rows, cols):
+            out[b][int(k)] = int(draws[b, k])
+        return out

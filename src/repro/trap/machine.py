@@ -38,11 +38,10 @@ from ..sim.sampling import (
     sample_bernoulli_counts_batch,
     sample_counts_from_probs,
 )
+from ..sim.dense_plan import DensePlan, DensePlanCache
 from ..sim.statevector import (
     MAX_DENSE_QUBITS,
-    BatchedStatevectorSimulator,
     StatevectorSimulator,
-    batched_matrices_from_params,
     realization_chunks,
 )
 from ..sim.xx_engine import (
@@ -82,12 +81,20 @@ class RealizedSlot:
 
 @dataclass
 class MachineStats:
-    """Usage counters for cost accounting."""
+    """Usage counters for cost accounting and plan-cache introspection.
+
+    ``dense_plan_builds``/``dense_plan_hits`` count dense-plan compilations
+    vs. cache reuses across the machine's own dense paths *and* any
+    :class:`CompiledBattery` evaluated against this machine — a warm trial
+    loop should stop accumulating builds after its first pass.
+    """
 
     circuit_runs: int = 0
     shots: int = 0
     two_qubit_gates: int = 0
     quantum_seconds: float = 0.0
+    dense_plan_builds: int = 0
+    dense_plan_hits: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -95,6 +102,8 @@ class MachineStats:
         self.shots = 0
         self.two_qubit_gates = 0
         self.quantum_seconds = 0.0
+        self.dense_plan_builds = 0
+        self.dense_plan_hits = 0
 
 
 @dataclass
@@ -122,6 +131,12 @@ class VirtualIonTrap:
         sums, single multi-group binomial draw).  ``False`` selects the
         per-realization reference path; results are statistically
         equivalent but consume the RNG stream in a different order.
+    dense_compiled:
+        Serve dense slot evaluation from cached
+        :class:`~repro.sim.dense_plan.DensePlan` objects with fused
+        apply groups (the default).  ``False`` rebuilds an unfused plan
+        per call — the pre-compilation reference behaviour, kept for
+        benchmarking; results agree to float rounding (~1e-15).
     max_batch_bytes:
         Optional memory budget for batched evaluation: dense
         realization batches are chunked so the state block stays within
@@ -135,6 +150,7 @@ class VirtualIonTrap:
     noise_realizations: int = 8
     max_exact_qubits: int = 20
     batched: bool = True
+    dense_compiled: bool = True
     max_batch_bytes: int | None = None
     timing: TimingModel = field(default_factory=TimingModel)
 
@@ -148,6 +164,7 @@ class VirtualIonTrap:
         self.noise_model = GateNoiseModel(self.n_qubits, self.noise, self.rng)
         self.stats = MachineStats()
         self._clock = 0.0
+        self._dense_plans = DensePlanCache()
 
     # -- fault injection ----------------------------------------------------------
 
@@ -421,70 +438,49 @@ class VirtualIonTrap:
             )
         return self._dense_match_probabilities_slots(slots, expected)
 
-    def _dense_probabilities_slots(
-        self, slots: list[RealizedSlot]
-    ) -> tuple[BatchedStatevectorSimulator, list[int]]:
-        """Batched dense evolution of slots on the compacted register.
+    def _dense_plan_for(self, slots: list[RealizedSlot]) -> DensePlan:
+        """The compiled :class:`~repro.sim.dense_plan.DensePlan` for a batch.
 
-        Returns the evolved batched simulator plus the touched-qubit
-        mapping (callers query one column or the full distribution).
+        Plans are cached on the machine keyed by the slot skeleton, so
+        repeated executions of one nominal circuit (a diagnosis loop, a
+        trial sweep) compile the compaction, permutations and fused apply
+        groups once.  Build/hit counters land in :class:`MachineStats`.
+        With ``dense_compiled=False`` an unfused plan is rebuilt per call
+        (the pre-compilation reference path).
         """
-        touched = sorted({q for slot in slots for q in slot.qubits})
-        if len(touched) > MAX_DENSE_QUBITS:
+        skeleton = tuple((s.gate, s.qubits) for s in slots)
+        if not self.dense_compiled:
+            self.stats.dense_plan_builds += 1
+            plan = DensePlan(self.n_qubits, skeleton, fuse=False)
+        else:
+            plan, hit = self._dense_plans.get(self.n_qubits, skeleton)
+            if hit:
+                self.stats.dense_plan_hits += 1
+            else:
+                self.stats.dense_plan_builds += 1
+        if plan.n_local > MAX_DENSE_QUBITS:
             raise ValueError(
-                f"circuit touches {len(touched)} qubits; run_match handles "
+                f"circuit touches {plan.n_local} qubits; run_match handles "
                 "larger XX-only tests"
             )
-        n_batch = slots[0].params.shape[0]
-        index = {q: k for k, q in enumerate(touched)}
-        sim = BatchedStatevectorSimulator(len(touched), n_batch)
-        for slot, us in zip(slots, _slot_matrix_table(slots)):
-            sim.apply_gates(us, tuple(index[q] for q in slot.qubits))
-        return sim, touched
-
-    @staticmethod
-    def _slice_slots(
-        slots: list[RealizedSlot], start: int, stop: int
-    ) -> list[RealizedSlot]:
-        """Restrict every slot to a contiguous realization-row window."""
-        return [
-            RealizedSlot(s.gate, s.qubits, s.params[start:stop]) for s in slots
-        ]
+        return plan
 
     def _dense_match_probabilities_slots(
         self, slots: list[RealizedSlot], expected: int
     ) -> np.ndarray:
         """Batched dense match probabilities over all realization groups.
 
-        Near the dense limit the realization batch would multiply the
-        memory cap, so the groups are evaluated in contiguous chunks
-        sized to ``max_batch_bytes`` (or the global amplitude cap).
+        Evaluated through the cached dense plan; realization rows are
+        chunked inside :meth:`DensePlan.probabilities` so peak memory
+        stays within ``max_batch_bytes`` (or the global amplitude cap).
         """
-        n_batch = slots[0].params.shape[0] if slots else 1
-        touched = {q for slot in slots for q in slot.qubits}
-        for q in range(self.n_qubits):
-            if q not in touched:
-                bit = (expected >> (self.n_qubits - 1 - q)) & 1
-                if bit:
-                    return np.zeros(n_batch)
-        if not touched:
-            return np.ones(n_batch)
-        parts = []
-        for start, stop in realization_chunks(
-            len(touched), n_batch, self.max_batch_bytes
-        ):
-            chunk = (
-                slots
-                if (start, stop) == (0, n_batch)
-                else self._slice_slots(slots, start, stop)
-            )
-            sim, mapping = self._dense_probabilities_slots(chunk)
-            sub_expected = 0
-            for q in mapping:
-                bit = (expected >> (self.n_qubits - 1 - q)) & 1
-                sub_expected = (sub_expected << 1) | bit
-            parts.append(sim.probability_of(sub_expected))
-        return np.concatenate(parts)
+        if not slots:
+            n_batch = 1
+            return np.ones(n_batch) if expected == 0 else np.zeros(n_batch)
+        plan = self._dense_plan_for(slots)
+        return plan.probabilities(
+            [s.params for s in slots], expected, self.max_batch_bytes
+        )
 
     def _run_dense_slots(
         self, slots: list[RealizedSlot], groups: list[int]
@@ -496,24 +492,21 @@ class VirtualIonTrap:
         """
         if not slots or not {q for slot in slots for q in slot.qubits}:
             return {0: sum(groups)}
-        touched_count = len({q for slot in slots for q in slot.qubits})
+        plan = self._dense_plan_for(slots)
         counts_parts = []
         for start, stop in realization_chunks(
-            touched_count, len(groups), self.max_batch_bytes
+            plan.n_local, len(groups), self.max_batch_bytes
         ):
-            chunk = (
-                slots
-                if (start, stop) == (0, len(groups))
-                else self._slice_slots(slots, start, stop)
+            states = plan.states(
+                [s.params[start:stop] for s in slots], self.max_batch_bytes
             )
-            sim, touched = self._dense_probabilities_slots(chunk)
-            probs = sim.probabilities()
+            probs = np.abs(states) ** 2
             counts_parts.extend(
                 _expand_counts(
                     sample_counts_from_probs(
                         probs[g - start], groups[g], self.rng
                     ),
-                    touched,
+                    plan.touched,
                     self.n_qubits,
                 )
                 for g in range(start, stop)
@@ -624,6 +617,10 @@ class CompiledTest:
     to its column, nominal angle and X-basis axis sign, so realizing a
     noise batch reduces to one scaled accumulation per edge.  ``linear``
     carries the static RX/X angles (per ``plan.linear_keys`` order).
+
+    ``plan`` is ``None`` for tests whose nominal circuit is not XX-only;
+    those (and any test evaluated under non-XX-preserving noise) dispatch
+    to a cached :class:`~repro.sim.dense_plan.DensePlan` instead.
     """
 
     circuit: Circuit
@@ -633,7 +630,7 @@ class CompiledTest:
     slot_theta: np.ndarray
     slot_sign: np.ndarray
     linear: np.ndarray
-    plan: ContractionPlan
+    plan: ContractionPlan | None
     two_qubit_depth: int
 
 
@@ -652,17 +649,24 @@ class CompiledBattery:
 
     Batteries are machine-independent: compilation fixes only circuit
     structure, so one battery serves many machines, calibration snapshots
-    and sweep points.  Evaluation requires the machine's noise to be
-    XX-preserving (amplitude noise only — the Sec. VII scaling setting);
-    anything else belongs on the per-call paths of ``run_match``.
+    and sweep points.  Trial evaluation dispatches per machine: under
+    XX-preserving noise (amplitude noise only — the Sec. VII scaling
+    setting) the cached :class:`~repro.sim.xx_engine.ContractionPlan`
+    evaluates the whole batch exactly; under the full Sec. VI error model
+    (phase noise, residual kicks — the Figs. 6/7 setting) the realized
+    slots fall off the XX form and the test transparently dispatches to a
+    cached :class:`~repro.sim.dense_plan.DensePlan`, stacking all trials
+    and realization groups into one chunked dense batch.  Magnitude
+    sweeps (:meth:`sweep_fidelities`) remain XX-only.
 
     Parameters
     ----------
     n_qubits:
         Register width shared by all tests.
     items:
-        ``(circuit, expected_bitstring)`` pairs; circuits must be
-        XX-only (MS/XX/RX/X with pi-multiple MS phases).
+        ``(circuit, expected_bitstring)`` pairs.  XX-only circuits
+        (MS/XX/RX/X with pi-multiple MS phases) compile a contraction
+        plan; anything else compiles as a dense-only test.
     max_exact_qubits:
         Largest coupling component compiled exactly; bigger components
         raise ``ValueError`` (callers fall back to the uncompiled path).
@@ -679,6 +683,7 @@ class CompiledBattery:
         self.n_qubits = n_qubits
         self.max_exact_qubits = max_exact_qubits
         self.tests = [self._compile(c, e) for c, e in items]
+        self._dense_plans = DensePlanCache()
 
     # -- compilation -----------------------------------------------------------
 
@@ -690,8 +695,18 @@ class CompiledBattery:
                 f"battery on {self.n_qubits}"
             )
         if not circuit.is_xx_only():
-            raise ValueError(
-                "circuit contains gates not diagonal in the X basis"
+            # No XX structure to contract: the test is dense-only and
+            # always evaluates through its DensePlan.
+            return CompiledTest(
+                circuit=circuit,
+                expected=expected,
+                pairs=(),
+                slot_edge=np.zeros(0, dtype=np.intp),
+                slot_theta=np.zeros(0),
+                slot_sign=np.zeros(0),
+                linear=np.zeros(0),
+                plan=None,
+                two_qubit_depth=circuit.depth_two_qubit(),
             )
         edge_index: dict[Pair, int] = {}
         slot_edge: list[int] = []
@@ -788,6 +803,11 @@ class CompiledBattery:
             Optional transient-memory budget for the contraction.
         """
         ct = self.tests[index]
+        if ct.plan is None:
+            raise ValueError(
+                "test compiled without an XX contraction plan; evaluate "
+                "it through trial_fidelities (dense dispatch)"
+            )
         xi = np.asarray(xi, dtype=np.float64)
         n_ms = ct.slot_theta.size
         if xi.ndim != 2 or xi.shape[0] != n_ms:
@@ -843,11 +863,14 @@ class CompiledBattery:
     ) -> np.ndarray:
         """Measured fidelities of ``trials`` repeated runs of one test.
 
-        All trials' noise-realization groups are drawn and contracted in
-        one pass; shots are then sampled per (trial, group) with a single
-        batched binomial draw.  Statistically equivalent to ``trials``
-        calls of ``TestExecutor.execute`` on the batched machine path
-        (the RNG stream is consumed in a different order).
+        All trials' noise-realization groups are drawn and evaluated in
+        one pass — contracted against the XX plan under XX-preserving
+        noise, or evolved as a single chunked dense batch through the
+        cached :class:`~repro.sim.dense_plan.DensePlan` otherwise; shots
+        are then sampled per (trial, group) with a single batched
+        binomial draw.  Statistically equivalent to ``trials`` calls of
+        ``TestExecutor.execute`` on the batched machine path (the RNG
+        stream is consumed in a different order).
         """
         ct, groups, probs = self._trial_probabilities(
             machine, index, shots, trials, realizations
@@ -875,6 +898,12 @@ class CompiledBattery:
         """
         self._check_machine(machine)
         ct = self.tests[index]
+        if ct.plan is None or not machine.noise.is_xx_preserving():
+            raise ValueError(
+                "magnitude sweeps require XX-preserving noise and an "
+                "XX-compilable test (amplitude noise only); run the dense "
+                "setting per magnitude point via trial_fidelities"
+            )
         col = self.edge_column(index, pair)
         mags = np.asarray(magnitudes, dtype=np.float64)
         groups = np.asarray(
@@ -899,12 +928,6 @@ class CompiledBattery:
                 f"machine has {machine.n_qubits} qubits, "
                 f"battery compiled for {self.n_qubits}"
             )
-        if not machine.noise.is_xx_preserving():
-            raise ValueError(
-                "compiled batteries require XX-preserving noise "
-                "(amplitude noise only); phase noise and residual kicks "
-                "need the per-call dense path"
-            )
 
     def _trial_probabilities(
         self,
@@ -920,13 +943,47 @@ class CompiledBattery:
             machine._shot_groups(shots, realizations), dtype=np.int64
         )
         n_batch = trials * len(groups)
-        probs = self.probabilities_from_noise(
-            index,
-            self._draw_xi(machine, ct, n_batch),
-            self._current_under(machine, ct),
-            max_batch_bytes=machine.max_batch_bytes,
-        ).reshape(trials, len(groups))
+        if ct.plan is not None and machine.noise.is_xx_preserving():
+            probs = self.probabilities_from_noise(
+                index,
+                self._draw_xi(machine, ct, n_batch),
+                self._current_under(machine, ct),
+                max_batch_bytes=machine.max_batch_bytes,
+            ).reshape(trials, len(groups))
+        else:
+            probs = self._dense_trial_probabilities(machine, ct, n_batch)
+            probs = probs.reshape(trials, len(groups))
         return ct, groups, probs
+
+    def _dense_trial_probabilities(
+        self, machine: VirtualIonTrap, ct: CompiledTest, n_batch: int
+    ) -> np.ndarray:
+        """Match probabilities of ``n_batch`` stacked dense realizations.
+
+        The whole trials-times-groups batch of one test is realized in a
+        single slot draw and evolved through the battery's cached
+        :class:`~repro.sim.dense_plan.DensePlan` — the plan cache lives on
+        the battery, so it survives across trial machines (each fresh
+        machine of a calibration sweep reuses the same compiled
+        skeleton).  Realization rows are chunked to the machine's
+        ``max_batch_bytes``.
+        """
+        slots = machine._realize_slots(ct.circuit, n_batch)
+        if not slots:
+            return np.full(n_batch, 1.0 if ct.expected == 0 else 0.0)
+        if machine._slots_xx_only(slots):
+            # Noise structure happens to stay X-diagonal (e.g. disabled
+            # error sources): the exact XX path is cheaper.
+            return machine._match_probabilities_slots(slots, ct.expected)
+        skeleton = tuple((s.gate, s.qubits) for s in slots)
+        plan, hit = self._dense_plans.get(self.n_qubits, skeleton)
+        if hit:
+            machine.stats.dense_plan_hits += 1
+        else:
+            machine.stats.dense_plan_builds += 1
+        return plan.probabilities(
+            [s.params for s in slots], ct.expected, machine.max_batch_bytes
+        )
 
     @staticmethod
     def _draw_xi(
@@ -976,32 +1033,6 @@ class CompiledBattery:
             * n_runs
         )
         return matches.sum(axis=2) / shots
-
-
-def _slot_matrix_table(slots: list[RealizedSlot]) -> list[np.ndarray]:
-    """Per-slot gate-matrix stacks, built with one call per gate kind.
-
-    All MS slots of a circuit (and likewise all R slots) are constructed
-    in a single batched-builder call over the concatenated parameter rows,
-    then split back into program order — circuit depth adds rows to two
-    vectorized calls instead of one builder call per slot.
-    """
-    mats: list[np.ndarray | None] = [None] * len(slots)
-    for gate in ("MS", "R"):
-        idx = [i for i, slot in enumerate(slots) if slot.gate == gate]
-        if not idx:
-            continue
-        n_batch = slots[idx[0]].params.shape[0]
-        params = np.concatenate([slots[i].params for i in idx], axis=0)
-        stack = batched_matrices_from_params(gate, params)
-        dim = stack.shape[-1]
-        stack = stack.reshape(len(idx), n_batch, dim, dim)
-        for j, i in enumerate(idx):
-            mats[i] = stack[j]
-    for i, slot in enumerate(slots):
-        if mats[i] is None:
-            mats[i] = batched_matrices_from_params(slot.gate, slot.params)
-    return mats
 
 
 def _compact_circuit(

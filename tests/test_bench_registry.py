@@ -39,6 +39,8 @@ def test_registered_cases_cover_the_headline_paths():
         "fig3-vectorized",
         "fig7-batched",
         "fig8-sweep-broadcast",
+        "fig6-dense",
+        "fig7-dense",
         "xx-contraction-plan",
     } <= names
 

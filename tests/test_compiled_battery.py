@@ -111,25 +111,44 @@ def test_trial_and_sweep_fidelities_shapes_and_accounting():
     assert sweep[2].mean() < sweep[0].mean()
 
 
-def test_battery_rejects_incompatible_machines_and_circuits():
+def test_battery_dispatches_and_rejects_appropriately():
     n_qubits = 8
     spec = class_test_for_pair(n_qubits, (0, 1), 2)
     battery = compile_test_battery(n_qubits, [spec])
+    # Non-XX-preserving noise no longer rejects: trials dispatch to the
+    # dense plan transparently...
     noisy = VirtualIonTrap(
         n_qubits,
         noise=NoiseParameters(amplitude_sigma=0.1, phase_noise_rms=0.05),
         seed=0,
     )
-    with pytest.raises(ValueError, match="XX-preserving"):
-        battery.trial_fidelities(noisy, 0, shots=100, trials=1)
+    fids = battery.trial_fidelities(noisy, 0, shots=100, trials=3)
+    assert fids.shape == (3,)
+    assert np.all((fids >= 0.0) & (fids <= 1.0))
+    assert noisy.stats.dense_plan_builds == 1
+    # ...but magnitude sweeps stay XX-only.
+    with pytest.raises(ValueError, match="XX"):
+        battery.sweep_fidelities(
+            noisy, 0, (0, 1), np.array([0.0, 0.2]), shots=100, trials=1
+        )
     wrong_size = VirtualIonTrap(6, seed=0)
     with pytest.raises(ValueError, match="qubits"):
         battery.trial_fidelities(wrong_size, 0, shots=100, trials=1)
     with pytest.raises(ValueError, match="not exercised"):
         battery.edge_column(0, (0, 7))
+    # A dense-only circuit compiles without a contraction plan and still
+    # evaluates through the dense dispatch.
     dense = Circuit(4).h(0)
-    with pytest.raises(ValueError):
-        VirtualIonTrap(4, seed=0).compile_battery([(dense, 0)])
+    dense_battery = VirtualIonTrap(4, seed=0).compile_battery([(dense, 0)])
+    assert dense_battery.tests[0].plan is None
+    with pytest.raises(ValueError, match="without an XX contraction plan"):
+        dense_battery.probabilities_from_noise(
+            0, np.zeros((0, 1)), np.zeros(0)
+        )
+    fids = dense_battery.trial_fidelities(
+        VirtualIonTrap(4, seed=0), 0, shots=100, trials=2
+    )
+    assert fids.shape == (2,)
 
 
 def test_deterministic_machine_matches_realized_evaluator():

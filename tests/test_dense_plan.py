@@ -1,0 +1,287 @@
+"""Compiled dense plans must match the per-realization dense reference.
+
+The acceptance bar mirrors the compiled-battery suite of the XX engine:
+states and match probabilities computed through a fused
+:class:`~repro.sim.dense_plan.DensePlan` agree with per-realization
+:class:`StatevectorSimulator` evolution of the identically-realized
+circuits to 1e-9 — on the fig6 smoke-grid batteries and a fig7 drift
+scenario — and a warm trial loop performs no permutation or skeleton
+rebuilds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments.fig6 import battery_specs
+from repro.core.protocol import compile_test_battery, execute_compiled_battery
+from repro.core.tests_builder import build_test_circuit, expected_output
+from repro.noise.models import NoiseParameters
+from repro.sim import statevector
+from repro.sim.dense_plan import DensePlan, DensePlanCache
+from repro.sim.statevector import StatevectorSimulator, subregister_bitstring
+from repro.trap.machine import VirtualIonTrap
+
+
+def _fig6_noise() -> NoiseParameters:
+    """The Sec. VI error model at fig6 strengths (forces the dense path)."""
+    return NoiseParameters(
+        amplitude_sigma=0.10,
+        residual_odd_population=0.012,
+        phase_noise_rms=0.08,
+    )
+
+
+def _fig7_noise() -> NoiseParameters:
+    return NoiseParameters(
+        amplitude_sigma=0.10,
+        residual_odd_population=0.01,
+        phase_noise_rms=0.05,
+    )
+
+
+def _reference_probabilities(machine, slots, plan, expected):
+    """Per-realization dense evolution of the same realized draws."""
+    sub, forced_zero = subregister_bitstring(
+        machine.n_qubits, plan.touched, expected
+    )
+    if forced_zero:
+        return np.zeros(slots[0].params.shape[0])
+    probs = []
+    for circuit in machine._slots_to_circuits(slots):
+        sim = StatevectorSimulator(plan.n_local)
+        for op in circuit.ops:
+            sim.apply_gate(
+                op.matrix(), tuple(plan.index[q] for q in op.qubits)
+            )
+        probs.append(sim.probability_of(sub))
+    return np.array(probs)
+
+
+@pytest.mark.parametrize("repetitions", [2, 4])
+def test_dense_plan_matches_reference_on_fig6_battery(repetitions):
+    """Fig6 batteries under the full error model: fused == reference, 1e-9."""
+    n_qubits = 8
+    machine = VirtualIonTrap(n_qubits, noise=_fig6_noise(), seed=11)
+    machine.set_under_rotation((0, 4), 0.47)
+    machine.set_under_rotation((0, 7), 0.22)
+    for spec in battery_specs(n_qubits, repetitions):
+        circuit = build_test_circuit(spec, n_qubits)
+        expected = expected_output(spec, n_qubits)
+        slots = machine._realize_slots(circuit, 6)
+        skeleton = tuple((s.gate, s.qubits) for s in slots)
+        plan = DensePlan(n_qubits, skeleton)
+        compiled = plan.probabilities([s.params for s in slots], expected)
+        reference = _reference_probabilities(machine, slots, plan, expected)
+        assert np.max(np.abs(compiled - reference)) < 1e-9, spec.name
+
+
+def test_dense_plan_matches_reference_on_fig7_drift_scenario():
+    """A drifted fig7 machine: fused plan == reference on a deep battery."""
+    n_qubits = 8
+    machine = VirtualIonTrap(n_qubits, noise=_fig7_noise(), seed=7)
+    rng = np.random.default_rng(7)
+    from repro.trap.calibration import all_pairs
+
+    snapshot = {
+        p: float(rng.uniform(0.0, 0.06)) for p in all_pairs(n_qubits)
+    }
+    snapshot[frozenset({3, 4})] = 0.20
+    snapshot[frozenset({2, 5})] = 0.17
+    machine.calibration.load_snapshot(snapshot)
+    for spec in battery_specs(n_qubits, 8)[:4]:
+        circuit = build_test_circuit(spec, n_qubits)
+        expected = expected_output(spec, n_qubits)
+        slots = machine._realize_slots(circuit, 5)
+        skeleton = tuple((s.gate, s.qubits) for s in slots)
+        plan = DensePlan(n_qubits, skeleton)
+        compiled = plan.probabilities([s.params for s in slots], expected)
+        reference = _reference_probabilities(machine, slots, plan, expected)
+        assert np.max(np.abs(compiled - reference)) < 1e-9, spec.name
+
+
+def test_fused_and_unfused_plans_agree_and_fuse_counts_drop():
+    """fuse=True changes the apply count, not the evolved states."""
+    n_qubits = 8
+    machine = VirtualIonTrap(n_qubits, noise=_fig6_noise(), seed=2)
+    spec = battery_specs(n_qubits, 4)[0]
+    circuit = build_test_circuit(spec, n_qubits)
+    slots = machine._realize_slots(circuit, 4)
+    skeleton = tuple((s.gate, s.qubits) for s in slots)
+    fused = DensePlan(n_qubits, skeleton)
+    unfused = DensePlan(n_qubits, skeleton, fuse=False)
+    assert fused.apply_count() < unfused.apply_count() == len(skeleton)
+    params = [s.params for s in slots]
+    assert np.max(np.abs(fused.states(params) - unfused.states(params))) < 1e-9
+
+
+def test_plan_chunking_is_exact():
+    """max_batch_bytes chunking changes memory, not probabilities."""
+    n_qubits = 6
+    machine = VirtualIonTrap(n_qubits, noise=_fig7_noise(), seed=5)
+    from repro.sim.circuit import Circuit
+
+    circuit = Circuit(n_qubits).ms(0, 1, np.pi / 2).ms(2, 3, np.pi / 2)
+    slots = machine._realize_slots(circuit, 12)
+    skeleton = tuple((s.gate, s.qubits) for s in slots)
+    plan = DensePlan(n_qubits, skeleton)
+    params = [s.params for s in slots]
+    full = plan.probabilities(params, 0)
+    chunked = plan.probabilities(
+        params, 0, max_batch_bytes=2 * 2**plan.n_local * 16
+    )
+    assert np.array_equal(full, chunked)
+
+
+def test_second_trial_performs_no_rebuilds():
+    """Warm compiled trials: no plan compilations, no permutation builds."""
+    n_qubits = 8
+    machine = VirtualIonTrap(n_qubits, noise=_fig7_noise(), seed=9)
+    specs = battery_specs(n_qubits, 4)
+    battery = compile_test_battery(n_qubits, specs)
+    for index in range(len(specs)):
+        battery.trial_fidelities(machine, index, shots=100, trials=2)
+    assert machine.stats.dense_plan_builds == len(specs)
+    assert machine.stats.dense_plan_hits == 0
+    perm_builds = statevector.permutation_cache_info()["builds"]
+    for index in range(len(specs)):
+        battery.trial_fidelities(machine, index, shots=100, trials=3)
+    # Second pass over the battery: every skeleton is served from the
+    # battery's plan cache and no axis permutation is derived again.
+    assert machine.stats.dense_plan_builds == len(specs)
+    assert machine.stats.dense_plan_hits == len(specs)
+    assert statevector.permutation_cache_info()["builds"] == perm_builds
+
+
+def test_machine_run_match_reuses_plans_across_calls():
+    """The machine-level cache serves repeated dense run_match calls."""
+    n_qubits = 6
+    machine = VirtualIonTrap(n_qubits, noise=_fig6_noise(), seed=4)
+    spec = battery_specs(n_qubits, 2)[0]
+    circuit = build_test_circuit(spec, n_qubits)
+    expected = expected_output(spec, n_qubits)
+    machine.run_match(circuit, expected, shots=60)
+    builds = machine.stats.dense_plan_builds
+    machine.run_match(circuit, expected, shots=60)
+    assert machine.stats.dense_plan_builds == builds
+    assert machine.stats.dense_plan_hits >= 1
+    # The reference machine rebuilds per call, by design.
+    reference = VirtualIonTrap(
+        n_qubits, noise=_fig6_noise(), seed=4, dense_compiled=False
+    )
+    reference.run_match(circuit, expected, shots=60)
+    reference.run_match(circuit, expected, shots=60)
+    assert reference.stats.dense_plan_builds == 2 * builds
+
+
+def test_dense_plan_cache_bounds_and_keys():
+    cache = DensePlanCache(max_plans=2)
+    sk_a = (("MS", (0, 1)),)
+    sk_b = (("MS", (1, 2)),)
+    sk_c = (("MS", (2, 3)),)
+    plan_a, hit = cache.get(4, sk_a)
+    assert not hit
+    again, hit = cache.get(4, sk_a)
+    assert hit and again is plan_a
+    cache.get(4, sk_b)
+    cache.get(4, sk_c)
+    assert len(cache) == 2
+    _, hit = cache.get(4, sk_a)
+    assert not hit  # evicted as least-recently-used
+    with pytest.raises(ValueError):
+        DensePlanCache(max_plans=0)
+    with pytest.raises(ValueError):
+        DensePlan(4, ())
+
+
+def test_execute_compiled_battery_matches_executor_statistically():
+    """Compiled battery execution tracks the executor loop's fidelities."""
+    n_qubits = 8
+    specs = battery_specs(n_qubits, 2)
+    shots = 400
+
+    def mean_fidelities(compiled: bool) -> np.ndarray:
+        from repro.analysis.detection import CalibratedThresholds
+        from repro.core.protocol import TestExecutor
+
+        totals = np.zeros(len(specs))
+        trials = 12
+        for trial in range(trials):
+            machine = VirtualIonTrap(
+                n_qubits, noise=_fig7_noise(), seed=100 + trial
+            )
+            machine.set_under_rotation((0, 4), 0.4)
+            if compiled:
+                battery = compile_test_battery(n_qubits, specs)
+                results = execute_compiled_battery(
+                    machine, specs, battery=battery, shots=shots
+                )
+            else:
+                executor = TestExecutor(
+                    machine,
+                    thresholds=CalibratedThresholds(default=0.5),
+                    shots=shots,
+                )
+                results = executor.execute_batch(specs)
+            totals += np.array([r.fidelity for r in results])
+        return totals / trials
+
+    compiled = mean_fidelities(True)
+    reference = mean_fidelities(False)
+    assert np.all(np.abs(compiled - reference) < 0.12)
+
+
+def test_execute_compiled_battery_rejects_mismatched_batteries():
+    """A stale or reordered battery fails loudly, not silently."""
+    n_qubits = 8
+    specs = battery_specs(n_qubits, 2)
+    machine = VirtualIonTrap(n_qubits, noise=_fig7_noise(), seed=1)
+    short = compile_test_battery(n_qubits, specs[:-1])
+    with pytest.raises(ValueError, match="compile it from this spec list"):
+        execute_compiled_battery(machine, specs, battery=short, shots=50)
+    reordered = compile_test_battery(n_qubits, specs[::-1])
+    with pytest.raises(ValueError, match="does not match spec"):
+        execute_compiled_battery(machine, specs, battery=reordered, shots=50)
+
+
+def test_vectorized_sample_counts_per_entry():
+    """One stacked multinomial: shot conservation, determinism, validation."""
+    from repro.sim.statevector import BatchedStatevectorSimulator
+
+    sim = BatchedStatevectorSimulator(2, 3)
+    sim.states = np.array(
+        [
+            [np.sqrt(0.5), np.sqrt(0.5), 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.5, 0.5, 0.5, 0.5],
+        ],
+        dtype=complex,
+    )
+    counts = sim.sample_counts_per_entry(
+        [100, 50, 200], np.random.default_rng(0)
+    )
+    assert [sum(c.values()) for c in counts] == [100, 50, 200]
+    assert counts[1] == {1: 50}
+    again = sim.sample_counts_per_entry(
+        [100, 50, 200], np.random.default_rng(0)
+    )
+    assert counts == again
+    with pytest.raises(ValueError, match="one shot count"):
+        sim.sample_counts_per_entry([10, 10], np.random.default_rng(0))
+    with pytest.raises(ValueError, match="positive"):
+        sim.sample_counts_per_entry([10, 0, 10], np.random.default_rng(0))
+
+
+def test_fig6_compiled_and_reference_paths_run():
+    """Both fig6 paths produce full row sets with finite fidelities."""
+    from repro.analysis.experiments.fig6 import Fig6Config, run_fig6
+
+    rows = {}
+    for compiled in (True, False):
+        cfg = Fig6Config(shots=60, compiled=compiled)
+        result = run_fig6(cfg)
+        rows[compiled] = result.rows
+        assert all(0.0 <= r.fidelity <= 1.0 for r in result.rows)
+    assert len(rows[True]) == len(rows[False])
+    assert [r.test_name for r in rows[True]] == [
+        r.test_name for r in rows[False]
+    ]
