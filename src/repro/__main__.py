@@ -17,6 +17,11 @@ Subcommands
     batched simulation paths, the fig6/fig7 compiled-dense batteries,
     contraction-plan reuse), print the speedups and emit a schema'd
     ``BENCH_<label>.json`` record.
+``validate``
+    Run the paper-fidelity validation suite: seeded replicates of every
+    experiment with a registered expectation contract, graded with
+    binomial confidence intervals and checked for drift against the
+    committed golden record; emits ``VALIDATION_<preset>.json``.
 
 Examples
 --------
@@ -28,6 +33,8 @@ Examples
     python -m repro run fig8 --full --set "qubit_counts=[8,16]"
     python -m repro run fig8 --smoke --sweep "shots=[150,300]" --jobs 2
     python -m repro bench --smoke --out .
+    python -m repro validate --smoke
+    python -m repro validate --smoke --update-golden
 """
 
 from __future__ import annotations
@@ -164,6 +171,67 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="NAME",
         help="run only the named bench case (repeatable)",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the paper-fidelity validation suite",
+    )
+    validate_preset = validate.add_mutually_exclusive_group()
+    validate_preset.add_argument(
+        "--smoke",
+        action="store_true",
+        help="validate at smoke scale (the default; seconds, CI-gated)",
+    )
+    validate_preset.add_argument(
+        "--full",
+        action="store_true",
+        help="validate the paper-sized preset (minutes, unpinned)",
+    )
+    validate.add_argument(
+        "--experiment",
+        dest="experiments",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="validate only the named experiment (repeatable)",
+    )
+    validate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan replicate runs out over N worker processes",
+    )
+    validate.add_argument(
+        "--out",
+        default=".",
+        help="directory for the VALIDATION_<preset>.json report (default: .)",
+    )
+    validate.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache location (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    validate.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    validate.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute replicates even when cached results exist",
+    )
+    validate.add_argument(
+        "--golden",
+        default=None,
+        metavar="PATH",
+        help="golden record location (default: GOLDEN_<preset>.json in cwd)",
+    )
+    validate.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="rewrite the golden record from this run instead of checking drift",
     )
     return parser
 
@@ -346,6 +414,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Run the validation suite, print the check table, emit the report."""
+    from .validation import cli as validation_cli
+
+    preset = "full" if args.full else "smoke"
+    try:
+        report = validation_cli.run_validation(
+            preset,
+            experiments=args.experiments or None,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            force=args.force,
+            golden_path=args.golden,
+            update_golden=args.update_golden,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"error: {message}") from exc
+    rows = []
+    for name, checks in report.checks_by_experiment.items():
+        for c in checks:
+            status = "PASS" if c.passed else ("FAIL" if c.hard else "warn")
+            rows.append([name, c.check_id, status, c.observed, c.target])
+    print(
+        ascii_table(
+            ["experiment", "check", "status", "observed", "target"],
+            rows,
+            title=f"paper-fidelity validation ({preset})",
+        )
+    )
+    for finding in report.drift_findings:
+        print(f"golden drift: {finding.check_id}: {finding.message}")
+    if report.golden_updated:
+        print(f"golden record updated -> {report.golden_path}")
+    elif report.golden_path is None:
+        print("no golden record for this preset (drift check skipped)")
+    path = validation_cli.write_report(report, args.out)
+    hard = [c for c in report.checks if c.hard]
+    print(
+        f"\n{sum(c.passed for c in hard)}/{len(hard)} hard checks passed "
+        f"({report.elapsed_seconds:.1f}s) -> {path}"
+    )
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -357,6 +471,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -235,6 +235,71 @@ def _first_crossing(
     return None
 
 
+def _monotone(values: list[float], slack: float, increasing: bool) -> bool:
+    """Sequence monotonicity within an additive slack."""
+    diffs = [b - a for a, b in zip(values, values[1:])]
+    if increasing:
+        return min(diffs, default=0.0) >= -slack
+    return max(diffs, default=0.0) <= slack
+
+
+def _validation():
+    """Fig. 8's paper-fidelity locks (see EXPERIMENTS.md "Validation")."""
+    from ...validation.specs import Expectation, FigureValidation
+
+    return FigureValidation(
+        replicates=4,
+        expectations=(
+            Expectation(
+                check_id="fig8.fidelity_decays_with_fault",
+                description=(
+                    "test fidelity falls monotonically with the injected "
+                    "under-rotation (every series of the sweep)"
+                ),
+                kind="ci-lower",
+                target=0.5,
+                extract=lambda ctx: [
+                    all(
+                        _monotone(s["mean_fidelity"], 0.03, increasing=False)
+                        for s in r
+                    )
+                    for r in ctx.results
+                ],
+            ),
+            Expectation(
+                check_id="fig8.detection_grows_with_fault",
+                description=(
+                    "detection rate grows monotonically with the "
+                    "injected under-rotation (every series of the sweep)"
+                ),
+                kind="ci-lower",
+                target=0.5,
+                extract=lambda ctx: [
+                    all(
+                        _monotone(s["detection_rate"], 0.05, increasing=True)
+                        for s in r
+                    )
+                    for r in ctx.results
+                ],
+            ),
+            Expectation(
+                check_id="fig8.min_detectable_band",
+                description=(
+                    "the 95%-detected under-rotation at N=8 lands in the "
+                    "paper's ~20-35% neighbourhood"
+                ),
+                kind="ci-lower",
+                target=0.5,
+                extract=lambda ctx: [
+                    r[0]["min_detectable_95"] is not None
+                    and 0.10 <= r[0]["min_detectable_95"] <= 0.45
+                    for r in ctx.results
+                ],
+            ),
+        ),
+    )
+
+
 def _register() -> None:
     """Hook this experiment into the unified runner registry."""
     from ..registry import register_experiment
@@ -291,6 +356,7 @@ def _register() -> None:
             + (f"{s.min_detectable_95:.0%}" if s.min_detectable_95 else "n/a")
             for s in series
         ),
+        validation=_validation(),
     )
 
 

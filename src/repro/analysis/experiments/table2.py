@@ -185,6 +185,69 @@ def _comb(n: int, k: int) -> int:
     return math.comb(n, k)
 
 
+def _cell(result: list[dict], n_qubits: int, k: int) -> dict | None:
+    """One (N, k) cell from the JSON payload shape, if present."""
+    for cell in result:
+        if cell["n_qubits"] == n_qubits and cell["k_faults"] == k:
+            return cell
+    return None
+
+
+def _validation():
+    """Table II's paper-fidelity locks (see EXPERIMENTS.md "Validation").
+
+    The smoke cells are exact enumerations (deterministic), so the
+    probability bands double as tight golden fingerprints.
+    """
+    from ...validation.specs import Expectation, FigureValidation
+
+    def _k_profile(ctx) -> list[float]:
+        n = min(cell["n_qubits"] for cell in ctx.first)
+        cells = sorted(
+            (c for c in ctx.first if c["n_qubits"] == n),
+            key=lambda c: c["k_faults"],
+        )
+        return [c["p_identify"] for c in cells]
+
+    return FigureValidation(
+        replicates=1,
+        expectations=(
+            Expectation(
+                check_id="table2.single_fault_certain",
+                description=(
+                    "a lone fault is always identified (Theorem V.10; "
+                    "paper Table II: 100%)"
+                ),
+                kind="band",
+                target=(0.999, 1.0),
+                extract=lambda ctx: _cell(ctx.first, 8, 1)["p_identify"],
+                drift_tolerance=0.001,
+            ),
+            Expectation(
+                check_id="table2.two_faults_paper_band",
+                description=(
+                    "two simultaneous faults at N=8 identified with "
+                    "probability near the paper's 47%"
+                ),
+                kind="band",
+                target=(0.32, 0.62),
+                extract=lambda ctx: _cell(ctx.first, 8, 2)["p_identify"],
+                drift_tolerance=0.05,
+            ),
+            Expectation(
+                check_id="table2.decays_with_fault_count",
+                description=(
+                    "identification probability decays as faults are "
+                    "added (syndromes start repeating)"
+                ),
+                kind="non-increasing",
+                slack=0.02,
+                extract=_k_profile,
+            ),
+        ),
+    )
+
+
 def _register() -> None:
     """Hook this experiment into the unified runner registry."""
     from ..registry import register_experiment
@@ -227,6 +290,7 @@ def _register() -> None:
             + (f" (paper {c.paper_value:.0%})" if c.paper_value else "")
             for c in cells
         ),
+        validation=_validation(),
     )
 
 

@@ -59,6 +59,11 @@ class ExperimentSpec:
         Flattens a result into a CSV header + rows.
     summarize:
         One-line human summary of a result.
+    validation:
+        Optional :class:`repro.validation.specs.FigureValidation`
+        contract — the statistical expectations ``python -m repro
+        validate`` grades for this experiment (``None`` means the
+        experiment has no paper-fidelity locks).
     """
 
     name: str
@@ -69,6 +74,7 @@ class ExperimentSpec:
     smoke_overrides: dict[str, Any]
     to_rows: Callable[[Any], RowTable]
     summarize: Callable[[Any], str]
+    validation: Any | None = None
 
     def config(
         self, preset: str = "full", overrides: dict[str, Any] | None = None
@@ -135,6 +141,7 @@ def register_experiment(
     smoke_overrides: dict[str, Any] | None = None,
     to_rows: Callable[[Any], RowTable],
     summarize: Callable[[Any], str],
+    validation: Any | None = None,
 ) -> ExperimentSpec:
     """Register an experiment; re-registration under the same name errors."""
     if name in _REGISTRY:
@@ -148,6 +155,7 @@ def register_experiment(
         smoke_overrides=dict(smoke_overrides or {}),
         to_rows=to_rows,
         summarize=summarize,
+        validation=validation,
     )
     _REGISTRY[name] = spec
     return spec

@@ -41,6 +41,7 @@ __all__ = [
     "fan_out",
     "run_experiment",
     "run_many",
+    "run_replicates",
     "run_sweep",
     "sweep_grid",
     "to_jsonable",
@@ -309,6 +310,51 @@ def run_many(
         (name, preset, overrides, str(cache_dir) if cache_dir else None,
          use_cache, force)
         for name in names
+    ]
+    return fan_out(_run_job, job_args, jobs)
+
+
+def run_replicates(
+    name: str,
+    preset: str = "smoke",
+    replicates: int = 8,
+    seed_field: str = "seed",
+    base_seed: int | None = None,
+    overrides: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+) -> list[RunRecord]:
+    """Run one experiment over consecutive seeds (Monte-Carlo replicas).
+
+    The validation suite's sampling primitive: replicate ``i`` overrides
+    ``seed_field`` with ``base_seed + i`` (``base_seed`` defaults to the
+    preset's configured seed, so replicate 0 *is* the default run and
+    shares its cache entry with plain ``repro run`` invocations).
+    Replicates fan out over worker processes with ``jobs > 1`` and are
+    individually cached, so a re-validation is served from disk.
+    """
+    if replicates < 1:
+        raise ValueError("need at least one replicate")
+    spec = get_experiment(name)
+    config = spec.config(preset, overrides)
+    if base_seed is None:
+        if not hasattr(config, seed_field):
+            raise ValueError(
+                f"experiment {name!r} has no config field {seed_field!r}"
+            )
+        base_seed = int(getattr(config, seed_field))
+    job_args = [
+        (
+            name,
+            preset,
+            {**(overrides or {}), seed_field: base_seed + i},
+            str(cache_dir) if cache_dir else None,
+            use_cache,
+            force,
+        )
+        for i in range(replicates)
     ]
     return fan_out(_run_job, job_args, jobs)
 

@@ -22,6 +22,24 @@ Cost: ``4k + 1`` adaptations for ``k`` faults (the ``+1`` is the final
 canary-passes conclusion) and ``k * (3n + R)`` circuit executions of
 ``s`` shots each — both tracked and compared against Sec. V-C's formulas
 in the test suite.
+
+Two identification modes drive each iteration's single-fault step:
+
+``syndrome``
+    The literal Theorem V.10 decode (round-1 syndrome, round-2
+    equal-bits, verification) against the executor's threshold policy —
+    exact when at most one fault sits above threshold.
+``contrast``
+    Fig. 5's "threshold is adjusted accordingly to maximize the fault vs
+    no-fault contrast" note made operational
+    (:meth:`MultiFaultProtocol.diagnose_all_ranked`): battery fidelities
+    are normalized by per-test clean baselines, every relevant coupling
+    is scored by the contrast between the tests containing it and the
+    rest, and the top-scoring candidates are confirmed by high-precision
+    verification tests.  This is the mode that stays accurate when the
+    whole machine carries background miscalibration (the Fig. 9
+    composite population) and syndromes of several overlapping faults
+    would otherwise union into an undecodable pattern.
 """
 
 from __future__ import annotations
@@ -29,12 +47,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from .combinatorics import all_couplings, bit, class_pairs, num_bits
 from .protocol import TestExecutor, TestResult
 from .single_fault import SingleFaultDiagnosis, SingleFaultProtocol
 from .tests_builder import TestSpec
 
-__all__ = ["MagnitudeSearchConfig", "MultiFaultReport", "MultiFaultProtocol"]
+__all__ = [
+    "ContrastVerifyConfig",
+    "MagnitudeSearchConfig",
+    "MultiFaultReport",
+    "MultiFaultProtocol",
+    "battery_specs",
+]
 
 Pair = frozenset[int]
 
@@ -100,9 +126,67 @@ class MagnitudeSearchConfig:
         return len(self.repetition_configs)
 
 
+def battery_specs(
+    n_qubits: int, repetitions: int, relevant: set[Pair] | None = None
+) -> list[TestSpec]:
+    """The protocol's full non-adaptive battery at one depth.
+
+    The 2n class tests plus the equal/unequal-bits tests (which cover
+    the bit-complementary pairs no class test contains).  The single
+    source of the battery definition: fig6's experiment, fig9's baseline
+    calibration and the ranked loop's per-iteration observation all
+    build from here, so their test *names* stay aligned — the
+    contrast mode's :class:`~repro.analysis.detection.BaselineBank`
+    lookups key on them.
+    """
+    protocol = SingleFaultProtocol(
+        n_qubits, relevant=relevant, repetitions=repetitions
+    )
+    relevant_set = (
+        relevant if relevant is not None else set(all_couplings(n_qubits))
+    )
+    return protocol.round1_specs() + _equal_bits_specs(
+        n_qubits, relevant_set, repetitions
+    )
+
+
+@dataclass(frozen=True)
+class ContrastVerifyConfig:
+    """Verification knobs of the contrast-ranked identification mode.
+
+    Attributes
+    ----------
+    shots, realizations:
+        Sampling effort of each verification test.  Verification doubles
+        as the magnitude measurement that orders the identified faults,
+        so it runs at higher precision than the battery tests.
+    attempts:
+        How many of the top-scoring candidates to verify per iteration
+        before concluding no further fault is confirmable (the contrast
+        score is a noisy statistic; the verification test is the
+        arbiter).
+    margin, min_std:
+        The verify accept/reject cut sits ``margin`` standard deviations
+        below the clean verify baseline (``min_std`` floors the spread
+        estimate); see
+        :meth:`repro.analysis.detection.BaselineBank.verify_threshold`.
+    """
+
+    shots: int = 600
+    realizations: int = 16
+    attempts: int = 3
+    margin: float = 3.0
+    min_std: float = 0.02
+
+
 @dataclass(frozen=True)
 class MultiFaultReport:
-    """Result of a full Fig. 5 diagnosis session."""
+    """Result of a full Fig. 5 diagnosis session.
+
+    ``magnitudes`` is populated by the contrast-ranked mode: the
+    verification-test fidelity measured for each identified pair (lower
+    fidelity = larger fault), aligned with ``identified``.
+    """
 
     identified: tuple[Pair, ...]
     diagnoses: tuple[SingleFaultDiagnosis, ...]
@@ -110,10 +194,23 @@ class MultiFaultReport:
     completed: bool
     adaptations: int
     circuit_runs: int
+    magnitudes: tuple[float, ...] = ()
 
     def identified_sorted(self) -> list[tuple[int, int]]:
         """Identified pairs in diagnosis order, as sorted int tuples."""
         return [tuple(sorted(p)) for p in self.identified]
+
+    def identified_by_magnitude(self) -> list[Pair]:
+        """Identified pairs ordered largest-damage first.
+
+        Uses the measured verification fidelities (ascending) when the
+        contrast mode recorded them; falls back to diagnosis order — the
+        magnitude-search order, already largest-first — otherwise.
+        """
+        if len(self.magnitudes) != len(self.identified):
+            return list(self.identified)
+        order = np.argsort(np.array(self.magnitudes), kind="stable")
+        return [self.identified[i] for i in order]
 
 
 @dataclass
@@ -198,6 +295,129 @@ class MultiFaultProtocol:
             if chosen is None and any(res.failed for res in batch_results):
                 chosen = r
         return chosen, results
+
+    # -- contrast-ranked identification ------------------------------------------
+
+    def battery_specs(self, relevant: set[Pair], repetitions: int) -> list[TestSpec]:
+        """The non-adaptive battery one iteration observes (the shared
+        module-level :func:`battery_specs` over the still-relevant
+        couplings)."""
+        return battery_specs(self.n_qubits, repetitions, relevant)
+
+    @staticmethod
+    def contrast_scores(
+        results: list[TestResult], relevant: set[Pair], baselines
+    ) -> list[tuple[float, Pair]]:
+        """Rank couplings by baseline-normalized fault/no-fault contrast.
+
+        Each test's fidelity is divided by its clean baseline
+        (:class:`~repro.analysis.detection.BaselineBank`); a coupling's
+        score is the bulk level (median over the tests *not* containing
+        it — median, so that other faults' damage does not drag the
+        reference down) minus the mean over the tests containing it.
+        The faultier the coupling, the larger the score.  Returned
+        sorted best-first.
+        """
+        normalized: list[tuple[TestSpec, float]] = []
+        for result in results:
+            value = baselines.normalized(result.spec.name, result.fidelity)
+            if value is not None:
+                normalized.append((result.spec, value))
+        scored: list[tuple[float, Pair]] = []
+        for pair in relevant:
+            inside = [v for spec, v in normalized if pair in spec.pairs]
+            outside = [v for spec, v in normalized if pair not in spec.pairs]
+            if not inside or not outside:
+                continue
+            score = float(np.median(outside)) - float(np.mean(inside))
+            scored.append((score, pair))
+        scored.sort(key=lambda item: (-item[0], sorted(item[1])))
+        return scored
+
+    def diagnose_all_ranked(
+        self,
+        executor: TestExecutor,
+        baselines,
+        verify: ContrastVerifyConfig | None = None,
+    ) -> MultiFaultReport:
+        """Run the Fig. 5 loop in contrast-ranked identification mode.
+
+        Per iteration: execute the battery over the still-relevant
+        couplings at the canary amplification, score every coupling by
+        normalized contrast (:meth:`contrast_scores`), then confirm the
+        top-scoring candidates with high-precision verification tests —
+        the first candidate whose verify test falls below the clean
+        baseline cut is the iteration's fault (recalibrated and removed,
+        as in the syndrome mode).  The session ends when no candidate
+        verifies (machine within spec), when couplings run out, or at
+        the ``max_faults`` safety bound.
+
+        ``baselines`` is a :class:`~repro.analysis.detection.BaselineBank`
+        (any object with ``normalized``/``verify_threshold`` works).
+        The report's ``magnitudes`` carry each identified pair's verify
+        fidelity, so ``identified_by_magnitude()`` orders faults
+        largest-first even though every iteration runs at one
+        amplification.
+        """
+        verify = verify or ContrastVerifyConfig()
+        repetitions = self.magnitude.canary_repetitions
+        verify_executor = TestExecutor(
+            executor.machine,
+            thresholds=executor.thresholds,
+            shots=verify.shots,
+            shot_batch=verify.realizations,
+            cost=executor.cost,
+        )
+        verify_cut = baselines.verify_threshold(verify.margin, verify.min_std)
+        relevant = set(self.relevant)
+        identified: list[Pair] = []
+        magnitudes: list[float] = []
+        iterations = 0
+        completed = False
+        while iterations < self.max_faults:
+            iterations += 1
+            if not relevant:
+                completed = True
+                executor.cost.record_adaptation("no couplings left")
+                break
+            specs = self.battery_specs(relevant, repetitions)
+            results = executor.execute_batch(specs)
+            executor.cost.record_adaptation("contrast ranking decision")
+            confirmed: tuple[Pair, float] | None = None
+            for _, candidate in self.contrast_scores(
+                results, relevant, baselines
+            )[: verify.attempts]:
+                spec = TestSpec(
+                    name=f"verify({min(candidate)},{max(candidate)})",
+                    pairs=(candidate,),
+                    repetitions=repetitions,
+                    kind="verify",
+                )
+                fidelity = verify_executor.execute(spec).fidelity
+                if fidelity < verify_cut:
+                    confirmed = (candidate, fidelity)
+                    break
+            if confirmed is None:
+                # No candidate verified: every remaining coupling looks
+                # in-spec at this amplification.
+                completed = True
+                break
+            pair, fidelity = confirmed
+            identified.append(pair)
+            magnitudes.append(fidelity)
+            if self.recalibrate is not None:
+                self.recalibrate(pair)
+            relevant.discard(pair)
+            executor.cost.record_adaptation("recalibrate and restart")
+        return MultiFaultReport(
+            identified=tuple(identified),
+            diagnoses=(),
+            iterations=iterations,
+            completed=completed,
+            adaptations=executor.cost.adaptations,
+            circuit_runs=executor.cost.circuit_runs,
+            magnitudes=tuple(magnitudes),
+        )
 
     # -- the loop -------------------------------------------------------------------
 

@@ -68,6 +68,15 @@ class CalibrationState:
         for pair, value in snapshot.items():
             self.set_under_rotation(pair, value)
 
+    def snapshot(self) -> dict[Pair, float]:
+        """Copy of the current per-coupling under-rotations.
+
+        The inverse of :meth:`load_snapshot`: experiments grade a
+        diagnosis against the ground truth captured *before* the
+        protocol's recalibration callbacks start zeroing entries.
+        """
+        return dict(self._under_rotation)
+
     def recalibrate(self, pair: Pair | tuple[int, int] | None = None) -> None:
         """Zero one coupling's error (or all couplings')."""
         if pair is None:

@@ -678,8 +678,9 @@ class CompiledBattery:
         items: list[tuple[Circuit, int]],
         max_exact_qubits: int = 20,
     ):
-        if not items:
-            raise ValueError("need at least one test")
+        # An empty battery is a legitimate degenerate (every coupling
+        # excluded, e.g. after a diagnosis session exhausts the relevant
+        # set): it compiles to no tests and executes as a no-op.
         self.n_qubits = n_qubits
         self.max_exact_qubits = max_exact_qubits
         self.tests = [self._compile(c, e) for c, e in items]

@@ -1,0 +1,38 @@
+"""Paper-fidelity validation: statistical regression locks per figure.
+
+The subsystem that *proves* the reproduction keeps reproducing the
+paper's headline claims while the fast paths evolve:
+
+* :mod:`repro.validation.stats` — Wilson / Clopper-Pearson binomial
+  confidence intervals, so qualitative success predicates are graded
+  over Monte-Carlo success counts instead of flaky point estimates.
+* :mod:`repro.validation.specs` — the declarative expectation
+  vocabulary (:class:`Expectation`, :class:`FigureValidation`) each
+  experiment module registers alongside its runner entry.
+* :mod:`repro.validation.golden` — seeded golden baseline records with
+  a drift-tolerance checker (``GOLDEN_smoke.json``).
+* :mod:`repro.validation.cli` — the ``python -m repro validate``
+  orchestrator; replicated runs go through the unified runner and its
+  result cache, so validation piggybacks on cached experiment outputs.
+"""
+
+from .cli import ValidationReport, run_validation
+from .golden import capture_golden, check_drift, load_golden
+from .specs import Check, Expectation, FigureValidation, ValidationContext
+from .stats import BinomialCI, binomial_ci, clopper_pearson_interval, wilson_interval
+
+__all__ = [
+    "BinomialCI",
+    "Check",
+    "Expectation",
+    "FigureValidation",
+    "ValidationContext",
+    "ValidationReport",
+    "binomial_ci",
+    "capture_golden",
+    "check_drift",
+    "clopper_pearson_interval",
+    "load_golden",
+    "run_validation",
+    "wilson_interval",
+]

@@ -1,0 +1,202 @@
+"""The ``python -m repro validate`` orchestrator.
+
+For every registered experiment carrying a
+:class:`~repro.validation.specs.FigureValidation` contract:
+
+1. run its seeded replicates through the unified runner (sharing the
+   result cache, so validation piggybacks on — and seeds — cached
+   experiment outputs),
+2. grade the contract's expectations into
+   :class:`~repro.validation.specs.Check` rows,
+3. compare the checks' scalar fingerprints against the committed golden
+   record (``GOLDEN_<preset>.json``) within each check's drift
+   tolerance.
+
+The run passes when every *hard* check passes and no golden fingerprint
+drifted; the report serializes to ``VALIDATION_<preset>.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+from typing import Any
+
+from .golden import (
+    DriftFinding,
+    capture_golden,
+    check_drift,
+    default_golden_path,
+    load_golden,
+    merge_golden,
+    restrict_golden,
+    write_golden,
+)
+from .specs import Check, FigureValidation, ValidationContext, evaluate_expectations
+
+__all__ = ["ValidationReport", "run_validation", "write_report"]
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """Outcome of one validation session."""
+
+    preset: str
+    checks_by_experiment: dict[str, list[Check]]
+    drift_findings: list[DriftFinding]
+    golden_path: str | None
+    golden_updated: bool
+    elapsed_seconds: float
+
+    @property
+    def checks(self) -> list[Check]:
+        """All checks, in experiment order."""
+        return [
+            c
+            for checks in self.checks_by_experiment.values()
+            for c in checks
+        ]
+
+    @property
+    def hard_failures(self) -> list[Check]:
+        """Hard checks that did not pass."""
+        return [c for c in self.checks if c.hard and not c.passed]
+
+    @property
+    def passed(self) -> bool:
+        """True when no hard check failed and no golden drift was found."""
+        return not self.hard_failures and not self.drift_findings
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-able report (written to ``VALIDATION_<preset>.json``)."""
+        from ..provenance import provenance
+
+        return {
+            "preset": self.preset,
+            "passed": self.passed,
+            "provenance": provenance(),
+            "elapsed_seconds": self.elapsed_seconds,
+            "golden": {
+                "path": self.golden_path,
+                "updated": self.golden_updated,
+                "drift_findings": [
+                    dataclasses.asdict(f) for f in self.drift_findings
+                ],
+            },
+            "experiments": {
+                name: [dataclasses.asdict(c) for c in checks]
+                for name, checks in self.checks_by_experiment.items()
+            },
+        }
+
+
+def run_validation(
+    preset: str = "smoke",
+    experiments: list[str] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+    golden_path: Path | str | None = None,
+    update_golden: bool = False,
+) -> ValidationReport:
+    """Run the validation suite for one preset.
+
+    Parameters mirror the runner's: replicated experiment runs share the
+    on-disk result cache (``use_cache=False`` bypasses it, ``force=True``
+    recomputes and refreshes it) and fan out over ``jobs`` processes.
+
+    ``golden_path`` overrides the default ``GOLDEN_<preset>.json``
+    location; ``update_golden=True`` rewrites the record from this run's
+    fingerprints instead of checking drift against it.  When no golden
+    record exists for the preset, drift checking is skipped (the
+    ``--full`` preset typically runs unpinned).
+    """
+    from ..analysis import registry, runner
+
+    start = time.perf_counter()
+    specs = [
+        spec
+        for spec in registry.all_experiments()
+        if spec.validation is not None
+        and (experiments is None or spec.name in experiments)
+    ]
+    if experiments:
+        unknown = set(experiments) - {spec.name for spec in specs}
+        if unknown:
+            raise ValueError(
+                "no validation contract for: " + ", ".join(sorted(unknown))
+            )
+    if not specs:
+        raise ValueError("no experiments with validation contracts registered")
+    checks_by_experiment: dict[str, list[Check]] = {}
+    for spec in specs:
+        contract: FigureValidation = spec.validation
+        records = runner.run_replicates(
+            spec.name,
+            preset=preset,
+            replicates=contract.replicates,
+            seed_field=contract.seed_field,
+            overrides=dict(contract.overrides) or None,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            force=force,
+        )
+        context = ValidationContext(
+            experiment=spec.name,
+            preset=preset,
+            results=tuple(r.payload.get("result") for r in records),
+            configs=tuple(r.payload.get("config") for r in records),
+        )
+        checks_by_experiment[spec.name] = evaluate_expectations(
+            contract, context
+        )
+    all_checks = [c for checks in checks_by_experiment.values() for c in checks]
+    selected = set(checks_by_experiment)
+    subset = experiments is not None
+    path = (
+        Path(golden_path)
+        if golden_path is not None
+        else default_golden_path(preset)
+    )
+    drift: list[DriftFinding] = []
+    golden_updated = False
+    if update_golden:
+        payload = capture_golden(preset, all_checks)
+        if subset:
+            # A subset update replaces only the selected experiments'
+            # fingerprints; the rest of the committed record survives.
+            existing = load_golden(path)
+            if existing is not None:
+                payload = merge_golden(existing, payload, selected)
+        write_golden(path, payload)
+        golden_updated = True
+    else:
+        golden = load_golden(path)
+        if golden is not None:
+            if subset:
+                golden = restrict_golden(golden, selected)
+            drift = check_drift(all_checks, golden)
+    return ValidationReport(
+        preset=preset,
+        checks_by_experiment=checks_by_experiment,
+        drift_findings=drift,
+        golden_path=str(path) if (golden_updated or path.exists()) else None,
+        golden_updated=golden_updated,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def write_report(report: ValidationReport, out_dir: Path | str) -> Path:
+    """Write ``VALIDATION_<preset>.json`` under ``out_dir``."""
+    import json
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"VALIDATION_{report.preset}.json"
+    path.write_text(
+        json.dumps(report.to_payload(), indent=2, sort_keys=True) + "\n"
+    )
+    return path

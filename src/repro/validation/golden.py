@@ -1,0 +1,187 @@
+"""Seeded golden baselines with a drift-tolerance checker.
+
+A golden record pins each validation check's scalar fingerprint
+(:attr:`repro.validation.specs.Check.value`) for a preset's seeded run.
+``GOLDEN_smoke.json`` is committed; CI re-runs ``repro validate --smoke``
+and fails when any fingerprint drifts beyond its check's declared
+tolerance — catching silent statistical regressions (an optimization
+that shifts RNG streams, a noise-model change that quietly halves a
+success probability) that pass/fail grading alone would miss until the
+probability crossed a hard target.
+
+``repro validate --update-golden`` refreshes the record after an
+intentional change; the diff then documents exactly which statistics
+moved and by how much.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .specs import Check
+
+__all__ = [
+    "DriftFinding",
+    "capture_golden",
+    "check_drift",
+    "default_golden_path",
+    "load_golden",
+    "merge_golden",
+    "restrict_golden",
+    "write_golden",
+]
+
+#: Golden record schema version (bump on incompatible layout changes).
+GOLDEN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One check whose fingerprint left its golden tolerance."""
+
+    check_id: str
+    golden: float | None
+    observed: float | None
+    tolerance: float
+    message: str
+
+
+def default_golden_path(preset: str, base_dir: Path | str | None = None) -> Path:
+    """``GOLDEN_<preset>.json`` in ``base_dir`` (default: cwd)."""
+    base = Path(base_dir) if base_dir is not None else Path.cwd()
+    return base / f"GOLDEN_{preset}.json"
+
+
+def capture_golden(preset: str, checks: list[Check]) -> dict:
+    """Build a golden payload from a validation run's checks."""
+    from ..provenance import provenance
+
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "preset": preset,
+        "provenance": provenance(),
+        "checks": {
+            c.check_id: {
+                "value": c.value,
+                "tolerance": c.drift_tolerance,
+                "description": c.description,
+            }
+            for c in checks
+            if c.value is not None and c.drift_tolerance is not None
+        },
+    }
+
+
+def write_golden(path: Path | str, payload: dict) -> Path:
+    """Write a golden record (sorted keys, trailing newline)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _experiment_of(check_id: str) -> str:
+    """The experiment namespace of a check id (``"fig9.top1..." -> "fig9"``).
+
+    Check ids are namespaced by their experiment's registry name; the
+    subset operations below rely on that convention.
+    """
+    return check_id.split(".", 1)[0]
+
+
+def restrict_golden(golden: dict, experiments: set[str]) -> dict:
+    """A golden record reduced to the selected experiments' checks.
+
+    Used when ``validate --experiment NAME`` grades a subset: drift is
+    checked only against the selected experiments' fingerprints, so the
+    unselected experiments' entries are not spuriously reported as
+    "present in golden record but not in run".
+    """
+    return {
+        **golden,
+        "checks": {
+            check_id: entry
+            for check_id, entry in golden.get("checks", {}).items()
+            if _experiment_of(check_id) in experiments
+        },
+    }
+
+
+def merge_golden(existing: dict, payload: dict, experiments: set[str]) -> dict:
+    """Fold a subset run's fresh fingerprints into an existing record.
+
+    Used by ``validate --experiment NAME --update-golden``: the selected
+    experiments' entries are replaced wholesale (stale check ids under
+    their namespaces drop out) while every other experiment's committed
+    locks survive — a subset update must never truncate the record.
+    """
+    merged = {
+        check_id: entry
+        for check_id, entry in existing.get("checks", {}).items()
+        if _experiment_of(check_id) not in experiments
+    }
+    merged.update(payload["checks"])
+    return {**payload, "checks": merged}
+
+
+def load_golden(path: Path | str) -> dict | None:
+    """Read a golden record; ``None`` when the file does not exist."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != GOLDEN_SCHEMA:
+        raise ValueError(
+            f"golden record {path} has schema {payload.get('schema')!r}; "
+            f"this code expects {GOLDEN_SCHEMA} (re-capture with "
+            "'python -m repro validate --update-golden')"
+        )
+    return payload
+
+
+def check_drift(checks: list[Check], golden: dict) -> list[DriftFinding]:
+    """Compare a run's check fingerprints against a golden record.
+
+    A finding is raised when a tracked check moved beyond its golden
+    tolerance, or when a check recorded in the golden is missing from
+    the run (a silently deleted lock).  Checks new since the golden was
+    captured are *not* findings — they tighten the net and get pinned at
+    the next ``--update-golden``.
+    """
+    findings: list[DriftFinding] = []
+    by_id = {c.check_id: c for c in checks}
+    for check_id, entry in golden.get("checks", {}).items():
+        tolerance = float(entry.get("tolerance", 0.0))
+        golden_value = entry.get("value")
+        check = by_id.get(check_id)
+        if check is None or check.value is None:
+            findings.append(
+                DriftFinding(
+                    check_id=check_id,
+                    golden=golden_value,
+                    observed=None,
+                    tolerance=tolerance,
+                    message="check present in golden record but not in run",
+                )
+            )
+            continue
+        if golden_value is None:
+            continue
+        drift = abs(check.value - float(golden_value))
+        if drift > tolerance:
+            findings.append(
+                DriftFinding(
+                    check_id=check_id,
+                    golden=float(golden_value),
+                    observed=check.value,
+                    tolerance=tolerance,
+                    message=(
+                        f"value drifted {drift:.3f} from golden "
+                        f"{float(golden_value):.3f} "
+                        f"(tolerance {tolerance:.3f})"
+                    ),
+                )
+            )
+    return findings

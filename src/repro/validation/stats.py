@@ -1,0 +1,205 @@
+"""Binomial confidence intervals for Monte-Carlo success predicates.
+
+The validation suite never asserts "the predicate held in 14 of 16
+trials" directly — sampling noise would make such point assertions
+flaky.  It asserts that a *confidence bound* on the underlying success
+probability clears a target: e.g. Fig. 9's top-1 identification check
+passes when the Wilson lower bound at the lowest sigma exceeds 0.5.
+
+Two interval constructions are provided (numpy-only, no scipy):
+
+* **Wilson score** — the default; well-behaved at small n and at the
+  0/n and n/n boundaries, narrower than Clopper-Pearson.
+* **Clopper-Pearson** — the exact tail-inversion interval, guaranteed
+  conservative; its Beta quantiles are computed with a continued-
+  fraction incomplete-beta evaluation plus bisection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "BinomialCI",
+    "binomial_ci",
+    "clopper_pearson_interval",
+    "wilson_interval",
+]
+
+#: Two-sided normal quantiles for the confidence levels the suite uses.
+_Z_BY_CONFIDENCE = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class BinomialCI:
+    """A binomial proportion with its confidence interval."""
+
+    successes: int
+    trials: int
+    lower: float
+    upper: float
+    confidence: float
+    method: str
+
+    @property
+    def estimate(self) -> float:
+        """The point estimate ``successes / trials``."""
+        return self.successes / self.trials
+
+
+def _z_for(confidence: float) -> float:
+    if confidence in _Z_BY_CONFIDENCE:
+        return _Z_BY_CONFIDENCE[confidence]
+    if not 0.5 < confidence < 1.0:
+        raise ValueError("confidence must be in (0.5, 1)")
+    # Beasley-Springer-Moro style rational approximation via the
+    # inverse error function is overkill here; a bisection against the
+    # normal CDF is exact enough and dependency-free.
+    target = 0.5 + confidence / 2.0
+    lo, hi = 0.0, 10.0
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    _check_counts(successes, trials)
+    z = _z_for(confidence)
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def clopper_pearson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Exact (tail-inversion) interval for a binomial proportion.
+
+    ``lower = BetaInv(alpha/2; k, n-k+1)`` and
+    ``upper = BetaInv(1-alpha/2; k+1, n-k)``, with the conventional
+    boundary cases at ``k = 0`` and ``k = n``.
+    """
+    _check_counts(successes, trials)
+    alpha = 1.0 - confidence
+    k, n = successes, trials
+    lower = 0.0 if k == 0 else _beta_quantile(alpha / 2.0, k, n - k + 1)
+    upper = 1.0 if k == n else _beta_quantile(1.0 - alpha / 2.0, k + 1, n - k)
+    return lower, upper
+
+
+def binomial_ci(
+    successes: int,
+    trials: int,
+    confidence: float = 0.95,
+    method: str = "wilson",
+) -> BinomialCI:
+    """Confidence interval for ``successes`` out of ``trials``."""
+    if method == "wilson":
+        lower, upper = wilson_interval(successes, trials, confidence)
+    elif method in ("clopper-pearson", "exact"):
+        lower, upper = clopper_pearson_interval(successes, trials, confidence)
+    else:
+        raise ValueError(f"unknown CI method {method!r}")
+    return BinomialCI(
+        successes=successes,
+        trials=trials,
+        lower=lower,
+        upper=upper,
+        confidence=confidence,
+        method=method,
+    )
+
+
+def _check_counts(successes: int, trials: int) -> None:
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+
+
+# -- incomplete beta (for Clopper-Pearson), numpy/scipy-free -------------------
+
+
+def _beta_quantile(q: float, a: float, b: float) -> float:
+    """Inverse regularized incomplete beta via bisection."""
+    lo, hi = 0.0, 1.0
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if _betainc_regularized(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def _betainc_regularized(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta ``I_x(a, b)`` (continued fraction)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_front)
+    # The continued fraction converges fast for x < (a+1)/(a+b+2);
+    # otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) (the
+    # front factor is invariant under that swap).
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Lentz continued fraction for the incomplete beta function."""
+    tiny = 1e-30
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h

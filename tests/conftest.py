@@ -1,8 +1,26 @@
-"""Test bootstrap: make ``src/`` importable without an install."""
+"""Test bootstrap: ``src/`` importability and the shared seeded RNG."""
 
 import sys
+import zlib
 from pathlib import Path
+
+import numpy as np
+import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+@pytest.fixture
+def rng(request: pytest.FixtureRequest) -> np.random.Generator:
+    """Deterministic per-test random generator.
+
+    Seeded from the test's node id, so every test gets its own stable
+    stream (reordering or adding tests never shifts another test's
+    draws) without per-test ad-hoc ``default_rng(<magic constant>)``
+    seeding.  Tests that need *two identical* streams (determinism
+    comparisons) still construct their own generators explicitly.
+    """
+    seed = zlib.crc32(request.node.nodeid.encode())
+    return np.random.default_rng(seed)

@@ -37,13 +37,12 @@ def _reference_probabilities(battery, index, xi, under):
 
 
 @pytest.mark.parametrize("repetitions", [2, 4])
-def test_compiled_matches_reference_on_fig8_grid(repetitions):
+def test_compiled_matches_reference_on_fig8_grid(repetitions, rng):
     """Fig8 smoke-grid class tests: compiled == per-point reference to 1e-9."""
     n_qubits = 8
     spec = class_test_for_pair(n_qubits, (0, 1), repetitions)
     battery = compile_test_battery(n_qubits, [spec])
     ct = battery.tests[0]
-    rng = np.random.default_rng(42)
     xi = rng.normal(0.0, 0.1, (ct.slot_theta.size, 12))
     under = rng.uniform(0.0, 0.3, len(ct.pairs))
     compiled = battery.probabilities_from_noise(0, xi, under)
@@ -51,14 +50,13 @@ def test_compiled_matches_reference_on_fig8_grid(repetitions):
     assert np.max(np.abs(compiled - reference)) < 1e-9
 
 
-def test_magnitude_broadcast_matches_per_point_loop():
+def test_magnitude_broadcast_matches_per_point_loop(rng):
     """A magnitude loop evaluated as one stacked broadcast == M point runs."""
     n_qubits = 8
     spec = class_test_for_pair(n_qubits, (0, 1), 4)
     battery = compile_test_battery(n_qubits, [spec])
     ct = battery.tests[0]
     col = battery.edge_column(0, (0, 1))
-    rng = np.random.default_rng(7)
     xi = rng.normal(0.0, 0.1, (ct.slot_theta.size, 6))
     under = rng.uniform(0.0, 0.1, len(ct.pairs))
     magnitudes = np.array([0.0, 0.05, 0.2, 0.35, 0.5])
@@ -73,13 +71,12 @@ def test_magnitude_broadcast_matches_per_point_loop():
         assert np.max(np.abs(broadcast[mi] - reference)) < 1e-9
 
 
-def test_broadcast_row_chunking_is_exact():
+def test_broadcast_row_chunking_is_exact(rng):
     """max_batch_bytes chunking changes memory, not results."""
     n_qubits = 8
     spec = class_test_for_pair(n_qubits, (0, 1), 2)
     battery = compile_test_battery(n_qubits, [spec])
     ct = battery.tests[0]
-    rng = np.random.default_rng(3)
     xi = rng.normal(0.0, 0.1, (ct.slot_theta.size, 16))
     under = np.zeros(len(ct.pairs))
     full = battery.probabilities_from_noise(0, xi, under)

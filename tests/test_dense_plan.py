@@ -17,6 +17,7 @@ from repro.core.protocol import compile_test_battery, execute_compiled_battery
 from repro.core.tests_builder import build_test_circuit, expected_output
 from repro.noise.models import NoiseParameters
 from repro.sim import statevector
+from repro.sim.circuit import Circuit
 from repro.sim.dense_plan import DensePlan, DensePlanCache
 from repro.sim.statevector import StatevectorSimulator, subregister_bitstring
 from repro.trap.machine import VirtualIonTrap
@@ -75,11 +76,10 @@ def test_dense_plan_matches_reference_on_fig6_battery(repetitions):
         assert np.max(np.abs(compiled - reference)) < 1e-9, spec.name
 
 
-def test_dense_plan_matches_reference_on_fig7_drift_scenario():
+def test_dense_plan_matches_reference_on_fig7_drift_scenario(rng):
     """A drifted fig7 machine: fused plan == reference on a deep battery."""
     n_qubits = 8
     machine = VirtualIonTrap(n_qubits, noise=_fig7_noise(), seed=7)
-    rng = np.random.default_rng(7)
     from repro.trap.calibration import all_pairs
 
     snapshot = {
@@ -118,8 +118,6 @@ def test_plan_chunking_is_exact():
     """max_batch_bytes chunking changes memory, not probabilities."""
     n_qubits = 6
     machine = VirtualIonTrap(n_qubits, noise=_fig7_noise(), seed=5)
-    from repro.sim.circuit import Circuit
-
     circuit = Circuit(n_qubits).ms(0, 1, np.pi / 2).ms(2, 3, np.pi / 2)
     slots = machine._realize_slots(circuit, 12)
     skeleton = tuple((s.gate, s.qubits) for s in slots)
@@ -269,6 +267,84 @@ def test_vectorized_sample_counts_per_entry():
         sim.sample_counts_per_entry([10, 10], np.random.default_rng(0))
     with pytest.raises(ValueError, match="positive"):
         sim.sample_counts_per_entry([10, 0, 10], np.random.default_rng(0))
+
+
+def test_single_slot_chain_matches_reference():
+    """A one-gate skeleton (link chain of length 1) compiles and is exact."""
+    n_qubits = 5
+    machine = VirtualIonTrap(n_qubits, noise=_fig6_noise(), seed=13)
+    machine.set_under_rotation((1, 3), 0.35)
+    circuit = Circuit(n_qubits).ms(1, 3, np.pi / 2)
+    slots = machine._realize_slots(circuit, 7)
+    skeleton = tuple((s.gate, s.qubits) for s in slots)
+    plan = DensePlan(n_qubits, skeleton)
+    # Only the touched pair survives compaction.
+    assert plan.n_local == 2
+    compiled = plan.probabilities([s.params for s in slots], 0)
+    reference = _reference_probabilities(machine, slots, plan, 0)
+    assert np.max(np.abs(compiled - reference)) < 1e-9
+
+
+def test_empty_battery_compiles_and_executes():
+    """Zero test specs: compilation and execution degrade to no-ops."""
+    machine = VirtualIonTrap(4, noise=_fig6_noise(), seed=1)
+    battery = compile_test_battery(4, [])
+    assert battery.tests == []
+    assert execute_compiled_battery(machine, [], battery=battery) == []
+
+
+def test_two_qubit_register_end_to_end():
+    """The smallest legal machine runs the dense compiled path exactly."""
+    n_qubits = 2
+    machine = VirtualIonTrap(n_qubits, noise=_fig6_noise(), seed=21)
+    machine.set_under_rotation((0, 1), 0.3)
+    circuit = Circuit(n_qubits).ms(0, 1, np.pi / 2).ms(0, 1, np.pi / 2)
+    slots = machine._realize_slots(circuit, 6)
+    skeleton = tuple((s.gate, s.qubits) for s in slots)
+    plan = DensePlan(n_qubits, skeleton)
+    assert plan.n_local == 2
+    compiled = plan.probabilities([s.params for s in slots], 0b11)
+    reference = _reference_probabilities(machine, slots, plan, 0b11)
+    assert np.max(np.abs(compiled - reference)) < 1e-9
+    counts = machine.run_match(circuit, 0b11, shots=80)
+    assert sum(counts.values()) == 80
+
+
+def test_tiny_byte_bound_with_plan_cache_eviction_stays_exact():
+    """A 1-byte batch budget (single-row chunks) plus constant plan-cache
+    eviction churn (``max_plans=1`` over two alternating skeletons)
+    changes memory behaviour only — never probabilities."""
+    n_qubits = 6
+    machine = VirtualIonTrap(n_qubits, noise=_fig7_noise(), seed=17)
+    circuits = [
+        Circuit(n_qubits).ms(0, 1, np.pi / 2).ms(2, 3, np.pi / 2),
+        Circuit(n_qubits).ms(1, 2, np.pi / 2).ms(4, 5, np.pi / 2),
+    ]
+    plans = []
+    slot_sets = []
+    for circuit in circuits:
+        slots = machine._realize_slots(circuit, 9)
+        slot_sets.append(slots)
+        plans.append(
+            DensePlan(n_qubits, tuple((s.gate, s.qubits) for s in slots))
+        )
+    unchunked = [
+        plan.probabilities([s.params for s in slots], 0)
+        for plan, slots in zip(plans, slot_sets)
+    ]
+    cache = DensePlanCache(max_plans=1)
+    for _ in range(3):
+        for circuit, slots, reference in zip(
+            circuits, slot_sets, unchunked
+        ):
+            skeleton = tuple((s.gate, s.qubits) for s in slots)
+            plan, was_cached = cache.get(n_qubits, skeleton)
+            assert not was_cached  # max_plans=1 evicts the other skeleton
+            chunked = plan.probabilities(
+                [s.params for s in slots], 0, max_batch_bytes=1
+            )
+            assert np.array_equal(chunked, reference)
+    assert len(cache) == 1
 
 
 def test_fig6_compiled_and_reference_paths_run():

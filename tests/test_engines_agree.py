@@ -36,9 +36,8 @@ def test_xx_engine_matches_statevector():
         )
 
 
-def test_xx_batch_matches_single():
+def test_xx_batch_matches_single(rng):
     """Batched spin-table evaluation equals per-circuit evaluation."""
-    rng = np.random.default_rng(3)
     circuits = [_xx_circuit(d) for d in rng.normal(0.0, 0.1, 6)]
     batch = XXBatchEvaluator(circuits)
     for bitstring in (0, 5, 9, 12, 31):
@@ -48,9 +47,8 @@ def test_xx_batch_matches_single():
         assert np.allclose(batch.probabilities_of(bitstring), single, atol=1e-12)
 
 
-def test_batched_statevector_matches_single():
+def test_batched_statevector_matches_single(rng):
     """Batched dense evolution equals per-circuit dense evolution."""
-    rng = np.random.default_rng(7)
 
     def build(delta: float) -> Circuit:
         circ = Circuit(3)

@@ -56,8 +56,7 @@ def test_spin_cache_keeps_working_set_under_budget(spin_cache):
     assert 16 not in spin_cache and 14 in spin_cache
 
 
-def test_batch_amplitudes_chunking_is_exact():
-    rng = np.random.default_rng(0)
+def test_batch_amplitudes_chunking_is_exact(rng):
     edges = {
         frozenset({q, q + 1}): rng.normal(np.pi / 2, 0.1, 32)
         for q in range(9)
@@ -80,11 +79,11 @@ def test_batched_simulator_enforces_byte_budget():
     BatchedStatevectorSimulator(18, 1, max_batch_bytes=1_000_000)
 
 
-def test_streaming_plan_matches_precomputed_and_bounds_residency():
+def test_streaming_plan_matches_precomputed_and_bounds_residency(rng):
     from repro.sim.xx_engine import ContractionPlan
 
     edge_keys = [frozenset({q, q + 1}) for q in range(7)]
-    thetas = np.random.default_rng(1).normal(np.pi / 2, 0.1, (8, 7))
+    thetas = rng.normal(np.pi / 2, 0.1, (8, 7))
     cached = ContractionPlan(8, edge_keys, [], 3)
     streaming = ContractionPlan(8, edge_keys, [], 3, precompute=False)
     assert np.array_equal(

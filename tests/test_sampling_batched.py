@@ -11,8 +11,7 @@ from repro.sim.sampling import (
 )
 
 
-def test_multinomial_counts_conserve_shots():
-    rng = np.random.default_rng(0)
+def test_multinomial_counts_conserve_shots(rng):
     probs = np.array([0.5, 0.25, 0.125, 0.125])
     counts = sample_counts_from_probs(probs, 10_000, rng)
     assert sum(counts.values()) == 10_000
@@ -26,15 +25,14 @@ def test_multinomial_counts_deterministic_per_seed():
     assert first == second
 
 
-def test_multinomial_counts_clip_negatives():
+def test_multinomial_counts_clip_negatives(rng):
     """Tiny negative float-error probabilities are clipped, not fatal."""
     probs = np.array([1.0, -1e-15])
-    counts = sample_counts_from_probs(probs, 100, np.random.default_rng(0))
+    counts = sample_counts_from_probs(probs, 100, rng)
     assert counts == {0: 100}
 
 
-def test_multinomial_counts_rejects_bad_input():
-    rng = np.random.default_rng(0)
+def test_multinomial_counts_rejects_bad_input(rng):
     with pytest.raises(ValueError):
         sample_counts_from_probs(np.array([0.0, 0.0]), 10, rng)
     with pytest.raises(ValueError):
@@ -59,8 +57,7 @@ def test_bernoulli_batch_matches_per_group_distribution():
     assert batched[0] == pytest.approx(looped[0], abs=60)
 
 
-def test_bernoulli_batch_validates_input():
-    rng = np.random.default_rng(0)
+def test_bernoulli_batch_validates_input(rng):
     with pytest.raises(ValueError):
         sample_bernoulli_counts_batch(
             np.array([0.5]), 0, np.array([0]), rng
