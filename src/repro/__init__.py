@@ -22,6 +22,8 @@ Sub-packages
 * :mod:`repro.physics` -- ion-chain modes, Lamb-Dicke, fidelity formulas.
 * :mod:`repro.trap` -- the virtual machine, calibration, timing, duty cycle.
 * :mod:`repro.circuits` -- application circuits and coupling usage.
+* :mod:`repro.scenarios` -- the declarative fault-scenario taxonomy and
+  the matrix report behind ``python -m repro scenarios``.
 * :mod:`repro.analysis` -- thresholds, reporting, per-figure experiments,
   and the unified experiment runner behind ``python -m repro``.
 
@@ -56,16 +58,24 @@ from .noise import (
     NoiseParameters,
     SpamModel,
 )
+from .scenarios import (
+    SCENARIO_KINDS,
+    ScenarioFault,
+    ScenarioSpec,
+    build_scenario,
+    default_scenarios,
+)
 from .sim import Circuit, StatevectorSimulator, XXCircuitEvaluator
 from .trap import (
     CompiledBattery,
     CouplingFault,
+    CouplingPhaseFault,
     DutyCycleBreakdown,
     TimingModel,
     VirtualIonTrap,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AdaptiveBinarySearch",
@@ -84,11 +94,17 @@ __all__ = [
     "CompositeUnderRotationDistribution",
     "NoiseParameters",
     "SpamModel",
+    "SCENARIO_KINDS",
+    "ScenarioFault",
+    "ScenarioSpec",
+    "build_scenario",
+    "default_scenarios",
     "Circuit",
     "StatevectorSimulator",
     "XXCircuitEvaluator",
     "CompiledBattery",
     "CouplingFault",
+    "CouplingPhaseFault",
     "DutyCycleBreakdown",
     "TimingModel",
     "VirtualIonTrap",

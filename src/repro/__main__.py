@@ -22,6 +22,11 @@ Subcommands
     experiment with a registered expectation contract, graded with
     binomial confidence intervals and checked for drift against the
     committed golden record; emits ``VALIDATION_<preset>.json``.
+``scenarios``
+    Run the fault-scenario matrix: every scenario kind of the taxonomy
+    (:mod:`repro.scenarios`) through the detection and identification
+    batteries on both engines, merged into a schema-validated
+    ``SCENARIOS_<preset>.json`` matrix report.
 
 Examples
 --------
@@ -35,6 +40,8 @@ Examples
     python -m repro bench --smoke --out .
     python -m repro validate --smoke
     python -m repro validate --smoke --update-golden
+    python -m repro scenarios --smoke
+    python -m repro scenarios --smoke --kind over-rotation --jobs 2
 """
 
 from __future__ import annotations
@@ -232,6 +239,64 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update-golden",
         action="store_true",
         help="rewrite the golden record from this run instead of checking drift",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run the fault-scenario matrix across both engines",
+    )
+    scenarios_preset = scenarios.add_mutually_exclusive_group()
+    scenarios_preset.add_argument(
+        "--smoke",
+        action="store_true",
+        help="matrix at smoke scale (the default; seconds)",
+    )
+    scenarios_preset.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized matrix (minutes)",
+    )
+    scenarios.add_argument(
+        "--kind",
+        dest="kinds",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only the named scenario kind (repeatable; default: all)",
+    )
+    scenarios.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=JSON",
+        help="override a ScenarioMatrixConfig field (JSON value; repeatable)",
+    )
+    scenarios.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan scenario kinds out over N worker processes",
+    )
+    scenarios.add_argument(
+        "--out",
+        default=".",
+        help="directory for the SCENARIOS_<preset>.json report (default: .)",
+    )
+    scenarios.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache location (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    scenarios.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    scenarios.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even when cached results exist",
     )
     return parser
 
@@ -460,6 +525,67 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """Run the scenario matrix, print the cell table, emit the report."""
+    from .scenarios.report import write_matrix_json
+
+    preset = "full" if args.full else "smoke"
+    overrides = _parse_overrides(args.overrides)
+    try:
+        payload, records = runner.run_scenario_matrix(
+            preset,
+            kinds=args.kinds or None,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            force=args.force,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"error: {message}") from exc
+    rows = []
+    for cell in payload["cells"]:
+        detection = {e: (s, t) for e, s, t in cell["detection"]}
+        for engine in cell["engines"]:
+            s, t = detection.get(engine, (0, 0))
+            rows.append(
+                [
+                    cell["scenario"],
+                    cell["n_qubits"],
+                    engine,
+                    "xx+dense" if cell["xx_preserving"] else "dense-only",
+                    f"{s}/{t}" if t else "-",
+                    (
+                        f"{cell['identification_successes']}"
+                        f"/{cell['identification_trials']}"
+                    ),
+                ]
+            )
+    print(
+        ascii_table(
+            ["scenario", "N", "engine", "routing", "detected", "identified"],
+            rows,
+            title=f"fault-scenario matrix ({preset})",
+        )
+    )
+    anchor = payload["anchor"]
+    if anchor["largest_resolved_2ms"] is not None:
+        print(
+            "fig6 anchor (Sec. VI noise, paper thresholds): 47% fault "
+            f"resolved 2-MS {anchor['largest_resolved_2ms']}, "
+            f"4-MS {anchor['largest_resolved_4ms']}"
+        )
+    cached = sum(r.cache_hit for r in records)
+    path = write_matrix_json(payload, args.out)
+    print(
+        f"\n{len(payload['cells'])} cells across "
+        f"{len(payload['kinds'])} scenario kinds "
+        f"({cached}/{len(records)} kind jobs cache-served) -> {path}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -473,6 +599,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -27,6 +27,10 @@ Registered cases
     all trials x realization groups of a test into one chunked dense
     batch with fused apply groups, vs the per-trial executor loop on
     the uncompiled dense path.
+``scenarios-compiled``
+    The scenario matrix's detection hot loop: repeated battery trials of
+    one taxonomy scenario through compiled batteries (stacked trials per
+    test) vs the per-trial ``TestExecutor`` loop.
 ``xx-contraction-plan``
     Micro-benchmark: reusing a :class:`~repro.sim.xx_engine.ContractionPlan`
     vs rebuilding the spin-table contraction on every call.
@@ -177,6 +181,55 @@ def _fig7_dense_battery_workload(
                     executor.execute(spec)
 
 
+def _scenario_battery_workload(
+    compiled: bool, trials: int = 16, shots: int = 200, realizations: int = 4
+) -> None:
+    """Repeated detection-battery trials of one taxonomy scenario.
+
+    Mirrors the scenario matrix's per-cell detection loop (an
+    XX-preserving scenario, so the compiled side runs the exact XX
+    contraction): every test of the 2/4-repetition batteries runs
+    ``trials`` times on one miscalibrated machine.  ``compiled=True``
+    stacks each test's trials-times-groups block against the cached
+    contraction plan; ``compiled=False`` is the per-trial
+    ``TestExecutor`` loop the matrix replaced.
+    """
+    from ..core.multi_fault import battery_specs
+    from ..core.protocol import TestExecutor, compile_test_battery
+    from ..scenarios.spec import build_scenario
+    from ..trap.machine import VirtualIonTrap
+    from .detection import CalibratedThresholds
+
+    n_qubits = 8
+    scenario = build_scenario("over-rotation", n_qubits)
+    machine = VirtualIonTrap(
+        n_qubits,
+        noise=scenario.noise_parameters(),
+        seed=5,
+        noise_realizations=realizations,
+    )
+    scenario.apply(machine)
+    executor = TestExecutor(
+        machine,
+        thresholds=CalibratedThresholds(default=0.5),
+        shots=shots,
+        shot_batch=realizations,
+    )
+    for repetitions in (2, 4):
+        specs = battery_specs(n_qubits, repetitions)
+        if compiled:
+            battery = compile_test_battery(n_qubits, specs)
+            for index in range(len(specs)):
+                battery.trial_fidelities(
+                    machine, index, shots, trials=trials,
+                    realizations=realizations,
+                )
+        else:
+            for spec in specs:
+                for _ in range(trials):
+                    executor.execute(spec)
+
+
 def bench_cases(preset: str = "smoke") -> list[BenchCase]:
     """The registered benchmark cases at the given preset."""
     repeats = 2 if preset == "smoke" else 1
@@ -225,6 +278,16 @@ def bench_cases(preset: str = "smoke") -> list[BenchCase]:
             ),
             reference=lambda: _fig7_dense_battery_workload(compiled=False),
             optimized=lambda: _fig7_dense_battery_workload(compiled=True),
+            repeats=repeats,
+        ),
+        BenchCase(
+            name="scenarios-compiled",
+            description=(
+                "scenario-matrix detection batteries: stacked compiled "
+                "trials vs per-trial executor loop"
+            ),
+            reference=lambda: _scenario_battery_workload(compiled=False),
+            optimized=lambda: _scenario_battery_workload(compiled=True),
             repeats=repeats,
         ),
         BenchCase(

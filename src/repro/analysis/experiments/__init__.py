@@ -17,6 +17,12 @@ from .fig8 import Fig8Config, Fig8Series, class_test_for_pair, run_fig8
 from .fig9 import Fig9Config, Fig9Panel, distribution_snapshot, run_fig9
 from .fig10 import Fig10Config, Fig10Row, run_fig10, sec9_headline
 from .fig11 import Fig11Config, Fig11Row, run_fig11
+from .scenarios import (
+    ScenarioCell,
+    ScenarioMatrixConfig,
+    ScenarioMatrixResult,
+    run_scenarios,
+)
 from .table2 import (
     PAPER_TABLE_II,
     Table2Cell,
@@ -55,6 +61,10 @@ __all__ = [
     "Fig11Config",
     "Fig11Row",
     "run_fig11",
+    "ScenarioCell",
+    "ScenarioMatrixConfig",
+    "ScenarioMatrixResult",
+    "run_scenarios",
     "PAPER_TABLE_II",
     "Table2Cell",
     "Table2Config",

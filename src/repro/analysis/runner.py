@@ -42,6 +42,7 @@ __all__ = [
     "run_experiment",
     "run_many",
     "run_replicates",
+    "run_scenario_matrix",
     "run_sweep",
     "sweep_grid",
     "to_jsonable",
@@ -421,6 +422,93 @@ def run_sweep(
         for point in points
     ]
     return list(zip(points, fan_out(_run_job, job_args, jobs)))
+
+
+def run_scenario_matrix(
+    preset: str = "smoke",
+    kinds: list[str] | None = None,
+    overrides: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+) -> tuple[dict[str, Any], list[RunRecord]]:
+    """Sweep the ``scenarios`` experiment per kind and merge the matrix.
+
+    The scenario-matrix front door behind ``python -m repro scenarios``:
+    each scenario kind runs as its *own* ``scenarios``-experiment job
+    (``run_sweep`` over the ``scenarios`` config field), so kinds are
+    cached independently — re-running with one new kind only simulates
+    that kind — and fan out over ``jobs`` worker processes.  The per-kind
+    records merge into one schema-validated matrix payload
+    (:mod:`repro.scenarios.report`), carrying every cell plus the fig6
+    anchor verdicts from the under-rotation record.
+
+    Returns ``(matrix_payload, records)``; write the payload with
+    :func:`repro.scenarios.report.write_matrix_json`.
+    """
+    from ..scenarios.report import matrix_payload, validate_matrix_payload
+    from ..scenarios.spec import SCENARIO_KINDS
+
+    spec = get_experiment("scenarios")
+    base = dict(overrides or {})
+    # "scenarios" must never stay in the base overrides: the sweep owns
+    # that field (an explicit ``kinds`` argument wins over the override).
+    override_kinds = base.pop("scenarios", None)
+    kinds = list(
+        kinds
+        if kinds is not None
+        else (override_kinds or spec.config(preset).scenarios)
+    )
+    unknown = set(kinds) - set(SCENARIO_KINDS)
+    if unknown:
+        raise ValueError(
+            "unknown scenario kinds: "
+            + ", ".join(sorted(unknown))
+            + "; known: "
+            + ", ".join(SCENARIO_KINDS)
+        )
+    results = run_sweep(
+        "scenarios",
+        {"scenarios": [[kind] for kind in kinds]},
+        preset=preset,
+        base_overrides=base or None,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        force=force,
+    )
+    cells: list[dict[str, Any]] = []
+    anchor: dict[str, Any] = {
+        "largest_resolved_2ms": None,
+        "largest_resolved_4ms": None,
+    }
+    record_info: list[dict[str, Any]] = []
+    for point, record in results:
+        result = record.payload["result"]
+        cells.extend(result["cells"])
+        if result.get("anchor_largest_resolved_2ms") is not None:
+            anchor = {
+                "largest_resolved_2ms": result["anchor_largest_resolved_2ms"],
+                "largest_resolved_4ms": result["anchor_largest_resolved_4ms"],
+            }
+        record_info.append(
+            {
+                "kinds": list(point["scenarios"]),
+                "config_digest": record.config_digest,
+                "cache_hit": record.cache_hit,
+            }
+        )
+    detect_floor = float(results[0][1].payload["config"]["detect_floor"])
+    payload = matrix_payload(
+        preset=preset,
+        cells=cells,
+        anchor=anchor,
+        detect_floor=detect_floor,
+        records=record_info,
+    )
+    validate_matrix_payload(payload)
+    return payload, [record for _, record in results]
 
 
 def _out_stem(record: RunRecord, suffix: str | None) -> str:

@@ -317,11 +317,21 @@ class MultiFaultProtocol:
         reference down) minus the mean over the tests containing it.
         The faultier the coupling, the larger the score.  Returned
         sorted best-first.
+
+        The score is agnostic to the fault *species*: any deterministic
+        miscalibration that depresses a test's fidelity relative to its
+        clean baseline ranks — under-rotations, over-rotations (the
+        angle error enters through its magnitude), correlated
+        multi-coupling bursts (the median reference shrugs off the other
+        members' damage) and phase-miscalibrated couplings whose
+        combined amplitude-plus-axis error leaks fidelity.  Non-finite
+        normalized values (degenerate baselines) are skipped, not
+        propagated into the ranking.
         """
         normalized: list[tuple[TestSpec, float]] = []
         for result in results:
             value = baselines.normalized(result.spec.name, result.fidelity)
-            if value is not None:
+            if value is not None and np.isfinite(value):
                 normalized.append((result.spec, value))
         scored: list[tuple[float, Pair]] = []
         for pair in relevant:

@@ -195,6 +195,7 @@ def execute_compiled_battery(
     thresholds: ThresholdPolicy | None = None,
     shots: int = 300,
     realizations: int | None = None,
+    engine: str = "auto",
 ) -> list[TestResult]:
     """Run a predetermined battery through its compiled form.
 
@@ -205,7 +206,11 @@ def execute_compiled_battery(
     Sec. VI error model this is the compiled *dense* path of Figs. 6/7.
     Pass a pre-built ``battery`` (from :func:`compile_test_battery`, with
     tests in ``specs`` order) to amortize compilation across trial
-    machines; otherwise one is compiled on the fly.
+    machines; otherwise one is compiled on the fly.  ``engine`` forces
+    an evaluation path (``"xx"``/``"dense"``) instead of the automatic
+    dispatch — the scenario matrix uses it to run one battery through
+    both engines (see
+    :meth:`~repro.trap.machine.CompiledBattery.trial_fidelities`).
 
     Results are statistically equivalent to the per-test
     :class:`TestExecutor` loop (the RNG stream is consumed in a different
@@ -244,7 +249,12 @@ def execute_compiled_battery(
             )
         fidelity = float(
             battery.trial_fidelities(
-                machine, index, shots, trials=1, realizations=realizations
+                machine,
+                index,
+                shots,
+                trials=1,
+                realizations=realizations,
+                engine=engine,
             )[0]
         )
         results.append(

@@ -81,6 +81,19 @@ class NoiseParameters:
         return cls(amplitude_sigma=0.10)
 
     @classmethod
+    def amplitude_only(
+        cls, sigma: float = 0.10, spam: SpamModel | None = None
+    ) -> "NoiseParameters":
+        """Amplitude noise at ``sigma`` (optionally with a SPAM channel).
+
+        The XX-preserving environment the fault-scenario taxonomy builds
+        on: readout errors keep realizations X-diagonal (SPAM enters at
+        sampling time), so scenarios in this environment run on both the
+        exact XX engine and the dense plans.
+        """
+        return cls(amplitude_sigma=sigma, spam=spam)
+
+    @classmethod
     def paper_physical(cls) -> "NoiseParameters":
         """Sec. VI physical validation: all sources on."""
         return cls(

@@ -37,6 +37,16 @@ class SpamModel:
         self.p01 = p01
         self.p10 = p10
 
+    @property
+    def asymmetry(self) -> float:
+        """Signed readout asymmetry ``p01 - p10``.
+
+        Real ion-trap readout is asymmetric (dark-to-bright scatter vs
+        bright-state decay differ); the asymmetric-SPAM fault scenario
+        exercises the nonzero case end to end.
+        """
+        return self.p01 - self.p10
+
     # -- forward channel -------------------------------------------------------
 
     def apply_to_counts(

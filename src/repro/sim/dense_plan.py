@@ -652,12 +652,23 @@ class DensePlanCache:
     machines).  The bound is an entry count — plans hold only index
     tuples and a handful of fixed 4x4 matrices, so residency is tiny; the
     cap is a guard against unbounded skeleton churn, not a byte budget.
+
+    Cache keys are ``(n_qubits, skeleton)`` and nothing else: evaluation
+    knobs (``max_batch_bytes``, shot counts, trial counts) never enter
+    the key, so changing them between calls must never recompile.
+    ``evictions`` counts LRU drops since construction;
+    :meth:`take_invalidations` drains the count incrementally into the
+    ``MachineStats`` of whichever machine touches the cache next — exact
+    per-machine attribution on a machine-private cache, best-effort on
+    a battery cache shared across trial machines.
     """
 
     def __init__(self, max_plans: int = 256):
         if max_plans < 1:
             raise ValueError("cache must hold at least one plan")
         self.max_plans = max_plans
+        self.evictions = 0
+        self._unclaimed_evictions = 0
         self._plans: OrderedDict[tuple[int, Skeleton], DensePlan] = (
             OrderedDict()
         )
@@ -673,7 +684,15 @@ class DensePlanCache:
         self._plans[key] = plan
         while len(self._plans) > self.max_plans:
             self._plans.popitem(last=False)
+            self.evictions += 1
+            self._unclaimed_evictions += 1
         return plan, False
+
+    def take_invalidations(self) -> int:
+        """Evictions since the last call (drained; see ``evictions``)."""
+        count = self._unclaimed_evictions
+        self._unclaimed_evictions = 0
+        return count
 
     def __len__(self) -> int:
         return len(self._plans)

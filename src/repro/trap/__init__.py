@@ -12,6 +12,7 @@ from .duty_cycle import DutyCycleBreakdown, improved_duty_cycle
 from .faults import (
     TABLE_I,
     CouplingFault,
+    CouplingPhaseFault,
     Determinism,
     FaultClass,
     TimeScale,
@@ -28,6 +29,7 @@ __all__ = [
     "improved_duty_cycle",
     "TABLE_I",
     "CouplingFault",
+    "CouplingPhaseFault",
     "Determinism",
     "FaultClass",
     "TimeScale",

@@ -2,7 +2,9 @@
 
 Every pair of qubits has its own MS-gate calibration; this registry tracks
 each coupling's current *under-rotation* (fractional amplitude error, the
-dominant deterministic unitary fault of Sec. III).  The drift process of
+dominant deterministic unitary fault of Sec. III) and, since the
+fault-scenario taxonomy, its *drive-phase offset* (a phase-miscalibrated
+MS gate, which forces the dense simulation path).  The drift process of
 :mod:`repro.noise.drift` writes snapshots into it; recalibration zeroes
 individual entries; the protocols read it only through the machine's
 measurement statistics, never directly.
@@ -14,7 +16,7 @@ from itertools import combinations
 
 import numpy as np
 
-from .faults import CouplingFault, Pair
+from .faults import CouplingFault, CouplingPhaseFault, Pair
 
 __all__ = ["CalibrationState", "all_pairs"]
 
@@ -40,6 +42,9 @@ class CalibrationState:
         self._under_rotation: dict[Pair, float] = {
             p: 0.0 for p in all_pairs(n_qubits)
         }
+        self._phase_offset: dict[Pair, float] = {
+            p: 0.0 for p in all_pairs(n_qubits)
+        }
 
     # -- access -----------------------------------------------------------------
 
@@ -59,9 +64,33 @@ class CalibrationState:
             raise ValueError("under_rotation outside [-1, 1]")
         self._under_rotation[self._key(pair)] = value
 
-    def inject_fault(self, fault: CouplingFault) -> None:
-        """Apply a fault's under-rotation to its coupling."""
-        self.set_under_rotation(fault.pair, fault.under_rotation)
+    def phase_offset(self, pair: Pair | tuple[int, int]) -> float:
+        """Current MS drive-phase miscalibration of one coupling (radians)."""
+        return self._phase_offset[self._key(pair)]
+
+    def set_phase_offset(
+        self, pair: Pair | tuple[int, int], value: float
+    ) -> None:
+        """Pin one coupling's drive-phase offset to ``value`` radians."""
+        if not -3.15 <= value <= 3.15:
+            raise ValueError("phase offset outside [-pi, pi]")
+        self._phase_offset[self._key(pair)] = value
+
+    def has_phase_offsets(self) -> bool:
+        """True if any coupling carries a drive-phase miscalibration.
+
+        The engine-dispatch predicate: phase-offset MS realizations fall
+        off the XX form, so compiled batteries must take the dense path
+        even when the stochastic noise itself is XX-preserving.
+        """
+        return any(self._phase_offset.values())
+
+    def inject_fault(self, fault: CouplingFault | CouplingPhaseFault) -> None:
+        """Apply a fault to its coupling (dispatching on the fault species)."""
+        if isinstance(fault, CouplingPhaseFault):
+            self.set_phase_offset(fault.pair, fault.phase_offset)
+        else:
+            self.set_under_rotation(fault.pair, fault.under_rotation)
 
     def load_snapshot(self, snapshot: dict[Pair, float]) -> None:
         """Overwrite calibration from a drift-process snapshot."""
@@ -77,13 +106,25 @@ class CalibrationState:
         """
         return dict(self._under_rotation)
 
+    def phase_snapshot(self) -> dict[Pair, float]:
+        """Copy of the current per-coupling drive-phase offsets."""
+        return dict(self._phase_offset)
+
+    def load_phase_snapshot(self, snapshot: dict[Pair, float]) -> None:
+        """Overwrite drive-phase offsets from a snapshot."""
+        for pair, value in snapshot.items():
+            self.set_phase_offset(pair, value)
+
     def recalibrate(self, pair: Pair | tuple[int, int] | None = None) -> None:
-        """Zero one coupling's error (or all couplings')."""
+        """Zero one coupling's errors — amplitude and phase (or all)."""
         if pair is None:
             for key in self._under_rotation:
                 self._under_rotation[key] = 0.0
+                self._phase_offset[key] = 0.0
         else:
-            self._under_rotation[self._key(pair)] = 0.0
+            key = self._key(pair)
+            self._under_rotation[key] = 0.0
+            self._phase_offset[key] = 0.0
 
     # -- analysis ----------------------------------------------------------------
 

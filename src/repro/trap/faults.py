@@ -21,6 +21,7 @@ __all__ = [
     "TABLE_I",
     "classify_fault",
     "CouplingFault",
+    "CouplingPhaseFault",
 ]
 
 Pair = frozenset[int]
@@ -110,6 +111,11 @@ _PHENOMENA: dict[str, tuple[Determinism, Unitarity]] = {
     "light shift miscalibration": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
     "beam misalignment": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
     "under-rotation": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "over-rotation": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "correlated burst": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "calibration drift": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "phase miscalibration": (Determinism.DETERMINISTIC, Unitarity.UNITARY),
+    "asymmetric readout": (Determinism.STOCHASTIC, Unitarity.NON_UNITARY),
     "bus excitation bit flip": (Determinism.DETERMINISTIC, Unitarity.NON_UNITARY),
     "sideband error": (Determinism.DETERMINISTIC, Unitarity.NON_UNITARY),
     "anharmonicity": (Determinism.DETERMINISTIC, Unitarity.NON_UNITARY),
@@ -163,3 +169,41 @@ class CouplingFault:
     def magnitude(self) -> float:
         """Absolute fractional miscalibration (for magnitude separation)."""
         return abs(self.under_rotation)
+
+
+@dataclass(frozen=True)
+class CouplingPhaseFault:
+    """A deterministic drive-phase miscalibration of one coupling's MS gate.
+
+    The coupling implements ``MS(theta, phi + offset, phi + offset)``
+    instead of ``MS(theta, phi, phi)``: the entangling axis rotates off X
+    by ``phase_offset`` radians.  Such a fault is unitary and
+    deterministic (a light-shift or drive-line phase miscalibration,
+    Table I's deterministic-unitary quadrant) but — unlike an amplitude
+    fault — it moves the realized gate off the XX form, forcing the
+    dense simulation path.
+
+    A *pure* phase fault that is identical across a coupling's gate
+    repetitions commutes out of the single-output tests (``r``
+    repetitions of ``exp(-i theta/2 A)`` reach ``-I`` for any involution
+    ``A``), so on its own it is invisible to the battery; it matters in
+    combination with amplitude errors, which is why scenario taxonomies
+    pair it with an under-rotation component.
+    """
+
+    pair: Pair
+    phase_offset: float
+
+    def __post_init__(self) -> None:
+        if len(self.pair) != 2:
+            raise ValueError("a coupling joins exactly two qubits")
+        if not -3.15 <= self.phase_offset <= 3.15:
+            raise ValueError("phase_offset outside [-pi, pi]")
+
+    @property
+    def fault_class(self) -> FaultClass:
+        return TABLE_I[(Determinism.DETERMINISTIC, Unitarity.UNITARY)]
+
+    def magnitude(self) -> float:
+        """Absolute phase miscalibration in radians."""
+        return abs(self.phase_offset)

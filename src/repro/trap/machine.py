@@ -51,7 +51,7 @@ from ..sim.xx_engine import (
     ms_axis_sign,
 )
 from .calibration import CalibrationState
-from .faults import CouplingFault, Pair
+from .faults import CouplingFault, CouplingPhaseFault, Pair
 from .timing import TimingModel
 
 __all__ = [
@@ -95,6 +95,11 @@ class MachineStats:
     quantum_seconds: float = 0.0
     dense_plan_builds: int = 0
     dense_plan_hits: int = 0
+    #: Cached plans dropped by LRU eviction (cache churn).  A stable
+    #: workload — including one that only changes evaluation knobs like
+    #: ``max_batch_bytes`` between calls — must keep this at zero;
+    #: plans are keyed by slot skeleton alone, never by batch budgets.
+    dense_plan_invalidations: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -104,6 +109,7 @@ class MachineStats:
         self.quantum_seconds = 0.0
         self.dense_plan_builds = 0
         self.dense_plan_hits = 0
+        self.dense_plan_invalidations = 0
 
 
 @dataclass
@@ -168,8 +174,14 @@ class VirtualIonTrap:
 
     # -- fault injection ----------------------------------------------------------
 
-    def inject_fault(self, fault: CouplingFault) -> None:
-        """Install a coupling fault into the calibration state."""
+    def inject_fault(self, fault: CouplingFault | CouplingPhaseFault) -> None:
+        """Install a coupling fault into the calibration state.
+
+        Amplitude faults set the coupling's under-rotation; phase faults
+        (:class:`~repro.trap.faults.CouplingPhaseFault`) set its MS
+        drive-phase offset, which moves realizations off the XX form and
+        routes evaluation to the dense engine.
+        """
         self.calibration.inject_fault(fault)
 
     def set_under_rotation(self, pair: Pair | tuple[int, int], value: float) -> None:
@@ -310,6 +322,10 @@ class VirtualIonTrap:
             if op.gate in ("MS", "XX"):
                 q1, q2 = op.qubits
                 phase_offset = op.params[1] if op.gate == "MS" else 0.0
+                # Deterministic drive-phase miscalibration of this
+                # coupling (the phase-fault scenario species): applied to
+                # the physical MS drive realizing either abstraction.
+                phase_offset += self.calibration.phase_offset((q1, q2))
                 ms_specs.append(
                     (
                         q1,
@@ -458,6 +474,9 @@ class VirtualIonTrap:
                 self.stats.dense_plan_hits += 1
             else:
                 self.stats.dense_plan_builds += 1
+            self.stats.dense_plan_invalidations += (
+                self._dense_plans.take_invalidations()
+            )
         if plan.n_local > MAX_DENSE_QUBITS:
             raise ValueError(
                 f"circuit touches {plan.n_local} qubits; run_match handles "
@@ -522,6 +541,7 @@ class VirtualIonTrap:
                 q1, q2 = op.qubits
                 theta = op.params[0]
                 phase_offset = op.params[1] if op.gate == "MS" else 0.0
+                phase_offset += self.calibration.phase_offset((q1, q2))
                 under = self.calibration.under_rotation((q1, q2))
                 realized.extend(
                     self.noise_model.noisy_ms_ops(
@@ -854,6 +874,20 @@ class CompiledBattery:
 
     # -- machine-facing evaluation ---------------------------------------------
 
+    def xx_eligible(self, machine: VirtualIonTrap, index: int) -> bool:
+        """True when test ``index`` can run on the exact XX engine.
+
+        Requires an XX contraction plan (XX-only nominal circuit),
+        XX-preserving stochastic noise, *and* a calibration free of
+        drive-phase offsets — a phase-miscalibrated coupling moves
+        realizations off the XX form even under amplitude-only noise.
+        """
+        return (
+            self.tests[index].plan is not None
+            and machine.noise.is_xx_preserving()
+            and not machine.calibration.has_phase_offsets()
+        )
+
     def trial_fidelities(
         self,
         machine: VirtualIonTrap,
@@ -861,6 +895,7 @@ class CompiledBattery:
         shots: int,
         trials: int,
         realizations: int | None = None,
+        engine: str = "auto",
     ) -> np.ndarray:
         """Measured fidelities of ``trials`` repeated runs of one test.
 
@@ -872,9 +907,16 @@ class CompiledBattery:
         binomial draw.  Statistically equivalent to ``trials`` calls of
         ``TestExecutor.execute`` on the batched machine path (the RNG
         stream is consumed in a different order).
+
+        ``engine`` selects the evaluation path: ``"auto"`` dispatches on
+        :meth:`xx_eligible` (the default), ``"dense"`` forces the dense
+        plan even for XX-preserving settings (scenario-matrix engine
+        comparisons), ``"xx"`` demands the exact XX contraction and
+        raises ``ValueError`` when the setting requires the dense
+        fallback (non-XX noise, phase-miscalibrated couplings).
         """
         ct, groups, probs = self._trial_probabilities(
-            machine, index, shots, trials, realizations
+            machine, index, shots, trials, realizations, engine
         )
         return self._sample_fidelities(
             machine, ct, probs[None, ...], shots, groups
@@ -899,11 +941,12 @@ class CompiledBattery:
         """
         self._check_machine(machine)
         ct = self.tests[index]
-        if ct.plan is None or not machine.noise.is_xx_preserving():
+        if not self.xx_eligible(machine, index):
             raise ValueError(
-                "magnitude sweeps require XX-preserving noise and an "
-                "XX-compilable test (amplitude noise only); run the dense "
-                "setting per magnitude point via trial_fidelities"
+                "magnitude sweeps require XX-preserving noise, an "
+                "XX-compilable test and phase-offset-free calibration "
+                "(amplitude noise only); run the dense setting per "
+                "magnitude point via trial_fidelities"
             )
         col = self.edge_column(index, pair)
         mags = np.asarray(magnitudes, dtype=np.float64)
@@ -937,14 +980,26 @@ class CompiledBattery:
         shots: int,
         trials: int,
         realizations: int | None,
+        engine: str = "auto",
     ) -> tuple[CompiledTest, np.ndarray, np.ndarray]:
+        if engine not in ("auto", "xx", "dense"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose auto, xx or dense"
+            )
         self._check_machine(machine)
         ct = self.tests[index]
+        eligible = self.xx_eligible(machine, index)
+        if engine == "xx" and not eligible:
+            raise ValueError(
+                "engine='xx' requested but the setting requires the dense "
+                "fallback (non-XX-preserving noise, a dense-only test, or "
+                "phase-miscalibrated couplings)"
+            )
         groups = np.asarray(
             machine._shot_groups(shots, realizations), dtype=np.int64
         )
         n_batch = trials * len(groups)
-        if ct.plan is not None and machine.noise.is_xx_preserving():
+        if eligible and engine != "dense":
             probs = self.probabilities_from_noise(
                 index,
                 self._draw_xi(machine, ct, n_batch),
@@ -952,12 +1007,18 @@ class CompiledBattery:
                 max_batch_bytes=machine.max_batch_bytes,
             ).reshape(trials, len(groups))
         else:
-            probs = self._dense_trial_probabilities(machine, ct, n_batch)
+            probs = self._dense_trial_probabilities(
+                machine, ct, n_batch, force=(engine == "dense")
+            )
             probs = probs.reshape(trials, len(groups))
         return ct, groups, probs
 
     def _dense_trial_probabilities(
-        self, machine: VirtualIonTrap, ct: CompiledTest, n_batch: int
+        self,
+        machine: VirtualIonTrap,
+        ct: CompiledTest,
+        n_batch: int,
+        force: bool = False,
     ) -> np.ndarray:
         """Match probabilities of ``n_batch`` stacked dense realizations.
 
@@ -967,12 +1028,15 @@ class CompiledBattery:
         the battery, so it survives across trial machines (each fresh
         machine of a calibration sweep reuses the same compiled
         skeleton).  Realization rows are chunked to the machine's
-        ``max_batch_bytes``.
+        ``max_batch_bytes``.  ``force`` skips the cheap exact-XX shortcut
+        for realizations that happen to stay X-diagonal — the
+        scenario-matrix conformance mode, where the dense engine must
+        actually evaluate.
         """
         slots = machine._realize_slots(ct.circuit, n_batch)
         if not slots:
             return np.full(n_batch, 1.0 if ct.expected == 0 else 0.0)
-        if machine._slots_xx_only(slots):
+        if not force and machine._slots_xx_only(slots):
             # Noise structure happens to stay X-diagonal (e.g. disabled
             # error sources): the exact XX path is cheaper.
             return machine._match_probabilities_slots(slots, ct.expected)
@@ -982,6 +1046,9 @@ class CompiledBattery:
             machine.stats.dense_plan_hits += 1
         else:
             machine.stats.dense_plan_builds += 1
+        machine.stats.dense_plan_invalidations += (
+            self._dense_plans.take_invalidations()
+        )
         return plan.probabilities(
             [s.params for s in slots], ct.expected, machine.max_batch_bytes
         )

@@ -13,6 +13,11 @@ grades it with one of four criteria:
     per-replicate booleans); passes when the binomial confidence bound's
     lower end exceeds ``target`` — the statistically sound version of
     "the predicate holds".
+``ci-lower-each``
+    The observation is a mapping ``label -> (successes, trials)``; every
+    label's CI lower bound must clear the shared ``target`` — used for
+    per-scenario matrices where each row must hold on its own (a strong
+    row must not mask a broken one, which pooling would allow).
 ``band``
     A scalar that must land inside ``(lo, hi)`` — used for Table II
     probabilities against the paper's values.
@@ -82,13 +87,14 @@ class Expectation:
     description:
         The paper claim being locked, in one human line.
     kind:
-        ``"ci-lower"``, ``"band"``, ``"non-increasing"`` or
-        ``"non-decreasing"``.
+        ``"ci-lower"``, ``"ci-lower-each"``, ``"band"``,
+        ``"non-increasing"`` or ``"non-decreasing"``.
     extract:
         ``extract(context)`` returning the kind's observation shape.
     target:
-        ``ci-lower``: the probability the CI lower bound must clear.
-        ``band``: the ``(lo, hi)`` interval.  Monotonic kinds: unused.
+        ``ci-lower``/``ci-lower-each``: the probability the CI lower
+        bound(s) must clear.  ``band``: the ``(lo, hi)`` interval.
+        Monotonic kinds: unused.
     slack:
         Additive tolerance for the monotonic kinds.
     confidence, method:
@@ -166,6 +172,8 @@ def evaluate_expectations(
         observation = exp.extract(context)
         if exp.kind == "ci-lower":
             checks.append(_grade_ci_lower(exp, observation))
+        elif exp.kind == "ci-lower-each":
+            checks.append(_grade_ci_lower_each(exp, observation))
         elif exp.kind == "band":
             checks.append(_grade_band(exp, observation))
         elif exp.kind in ("non-increasing", "non-decreasing"):
@@ -190,6 +198,38 @@ def _grade_ci_lower(exp: Expectation, observation: Any) -> Check:
         ),
         target=f"CI lower bound > {float(exp.target):.2f}",
         value=ci.estimate,
+        drift_tolerance=exp.drift_tolerance,
+    )
+
+
+def _grade_ci_lower_each(exp: Expectation, observation: Any) -> Check:
+    """Grade a per-label count matrix: every label's CI must clear target."""
+    if not isinstance(observation, dict) or not observation:
+        raise ValueError(
+            f"{exp.check_id}: ci-lower-each needs a non-empty "
+            "label -> counts mapping"
+        )
+    cis = {
+        label: binomial_ci(*_as_counts(counts), exp.confidence, exp.method)
+        for label, counts in observation.items()
+    }
+    worst_label = min(cis, key=lambda label: cis[label].lower)
+    passed = all(ci.lower > float(exp.target) for ci in cis.values())
+    observed = ", ".join(
+        f"{label} {ci.successes}/{ci.trials}"
+        for label, ci in sorted(cis.items())
+    )
+    worst = cis[worst_label]
+    return Check(
+        check_id=exp.check_id,
+        description=exp.description,
+        passed=passed,
+        hard=exp.hard,
+        observed=(
+            f"{observed} (worst: {worst_label} CI lower {worst.lower:.3f})"
+        ),
+        target=f"every label's CI lower bound > {float(exp.target):.2f}",
+        value=worst.estimate,
         drift_tolerance=exp.drift_tolerance,
     )
 

@@ -70,7 +70,12 @@ def _z_for(confidence: float) -> float:
 def wilson_interval(
     successes: int, trials: int, confidence: float = 0.95
 ) -> tuple[float, float]:
-    """Wilson score interval for a binomial proportion."""
+    """Wilson score interval for a binomial proportion.
+
+    The degenerate counts pin their closed endpoint exactly (``k = 0``
+    has lower bound 0, ``k = n`` upper bound 1) rather than up to float
+    rounding of ``center +- half``.
+    """
     _check_counts(successes, trials)
     z = _z_for(confidence)
     p = successes / trials
@@ -82,7 +87,9 @@ def wilson_interval(
         * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
         / denom
     )
-    return max(0.0, center - half), min(1.0, center + half)
+    lower = 0.0 if successes == 0 else max(0.0, center - half)
+    upper = 1.0 if successes == trials else min(1.0, center + half)
+    return lower, upper
 
 
 def clopper_pearson_interval(

@@ -18,6 +18,7 @@ EXPECTED_EXPERIMENTS = {
     "fig9",
     "fig10",
     "fig11",
+    "scenarios",
     "table2",
 }
 

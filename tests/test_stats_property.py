@@ -1,0 +1,155 @@
+"""Property tests for the binomial-CI constructions in validation/stats.
+
+The validation suite's pass/fail verdicts hang off these intervals, so
+their structural guarantees are locked here: Clopper-Pearson's *coverage*
+is never below nominal — in particular at the extreme proportions where
+Wilson's dips below it — and at small samples CP is the wider interval
+at the boundary counts; degenerate ``k=0`` / ``k=n`` cases pin the
+closed endpoints exactly; both intervals contain the point estimate and
+tighten monotonically as the sample grows; and confidence nests (a 99%
+interval contains the 95% one).
+"""
+
+import math
+
+import pytest
+
+from repro.validation.stats import (
+    binomial_ci,
+    clopper_pearson_interval,
+    wilson_interval,
+)
+
+SIZES = [1, 2, 5, 10, 16, 64, 500]
+CONFIDENCES = [0.90, 0.95, 0.99]
+
+
+def _coverage(interval_fn, n: int, p: float, confidence: float) -> float:
+    """Exact coverage probability of an interval construction at ``p``."""
+    total = 0.0
+    for k in range(n + 1):
+        lo, hi = interval_fn(k, n, confidence)
+        if lo <= p <= hi:
+            total += math.comb(n, k) * p**k * (1.0 - p) ** (n - k)
+    return total
+
+
+@pytest.mark.parametrize("confidence", [0.90, 0.95])
+@pytest.mark.parametrize("n", [10, 25, 50])
+def test_clopper_pearson_coverage_nests_wilson_at_extremes(n, confidence):
+    """CP coverage >= nominal, and >= Wilson wherever Wilson dips.
+
+    Clopper-Pearson's defining guarantee is coverage never below the
+    nominal level for *any* true p; Wilson's coverage famously dips
+    below it near the boundaries.  Wherever Wilson under-covers on the
+    extreme grid, CP must therefore cover at least as much.
+    """
+    extremes = [0.002, 0.01, 0.03, 0.05, 0.95, 0.97, 0.99, 0.998]
+    for p in extremes:
+        cp = _coverage(clopper_pearson_interval, n, p, confidence)
+        wilson = _coverage(wilson_interval, n, p, confidence)
+        assert cp >= confidence - 1e-9, f"CP under-covers at p={p}"
+        if wilson < confidence - 1e-9:
+            assert cp >= wilson, f"CP must dominate Wilson's dip at p={p}"
+
+
+def test_wilson_actually_dips_below_nominal_at_the_boundary():
+    """The coverage comparison is not vacuous: Wilson does under-cover.
+
+    At n=50 / 95% the dip region is wide; CP holds the line there.
+    """
+    n, confidence = 50, 0.95
+    dips = [
+        p
+        for p in (0.002, 0.01, 0.03, 0.97, 0.99, 0.998)
+        if _coverage(wilson_interval, n, p, confidence) < confidence - 1e-9
+    ]
+    assert dips, "expected Wilson coverage dips near the boundary"
+    for p in dips:
+        assert (
+            _coverage(clopper_pearson_interval, n, p, confidence)
+            >= confidence - 1e-9
+        )
+
+
+@pytest.mark.parametrize("confidence", CONFIDENCES)
+@pytest.mark.parametrize("n", [1, 2, 5, 10])
+def test_clopper_pearson_is_wider_at_small_sample_boundaries(n, confidence):
+    """At small n, CP contains the Wilson interval for k=0 and k=n.
+
+    (Only at small samples: for large n the Wilson boundary bound
+    ``z^2/(n+z^2)`` overshoots CP's ``1-(alpha/2)^{1/n}``, and at 99%
+    the crossover already lands near n=16.)
+    """
+    for k in (0, n):
+        w_lo, w_hi = wilson_interval(k, n, confidence)
+        cp_lo, cp_hi = clopper_pearson_interval(k, n, confidence)
+        assert cp_lo <= w_lo + 1e-12
+        assert cp_hi >= w_hi - 1e-12
+
+
+@pytest.mark.parametrize("method", ["wilson", "clopper-pearson"])
+@pytest.mark.parametrize("n", SIZES)
+def test_degenerate_counts_pin_the_closed_endpoint(n, method):
+    """k=0 fixes the lower bound at 0; k=n fixes the upper at 1."""
+    zero = binomial_ci(0, n, method=method)
+    full = binomial_ci(n, n, method=method)
+    assert zero.lower == 0.0
+    assert 0.0 < zero.upper < 1.0 or n == 0
+    assert full.upper == 1.0
+    assert 0.0 < full.lower < 1.0
+    assert zero.estimate == 0.0 and full.estimate == 1.0
+
+
+@pytest.mark.parametrize("method", ["wilson", "clopper-pearson"])
+def test_intervals_tighten_monotonically_in_n(method):
+    """At a fixed success ratio, growing n never widens the interval.
+
+    Checked at the extremes (k=0 upper bound shrinks, k=n lower bound
+    grows) and at the 50% ratio (width shrinks).
+    """
+    uppers = [binomial_ci(0, n, method=method).upper for n in SIZES]
+    assert uppers == sorted(uppers, reverse=True)
+    lowers = [binomial_ci(n, n, method=method).lower for n in SIZES]
+    assert lowers == sorted(lowers)
+    widths = [
+        (lambda ci: ci.upper - ci.lower)(binomial_ci(n // 2, n, method=method))
+        for n in SIZES
+        if n >= 2 and n % 2 == 0
+    ]
+    assert widths == sorted(widths, reverse=True)
+
+
+@pytest.mark.parametrize("method", ["wilson", "clopper-pearson"])
+@pytest.mark.parametrize("n", [5, 16, 64])
+def test_interval_contains_the_point_estimate(n, method):
+    """Every interval brackets k/n and stays inside [0, 1]."""
+    for k in range(n + 1):
+        ci = binomial_ci(k, n, method=method)
+        assert 0.0 <= ci.lower <= ci.estimate <= ci.upper <= 1.0
+
+
+@pytest.mark.parametrize("method", ["wilson", "clopper-pearson"])
+def test_confidence_levels_nest(method):
+    """A 99% interval contains the 95% one, which contains the 90% one."""
+    for k, n in ((3, 10), (14, 16), (0, 8), (50, 64)):
+        nested = [
+            binomial_ci(k, n, confidence, method) for confidence in CONFIDENCES
+        ]
+        for tighter, wider in zip(nested, nested[1:]):
+            assert wider.lower <= tighter.lower + 1e-12
+            assert wider.upper >= tighter.upper - 1e-12
+
+
+def test_invalid_counts_and_methods_raise():
+    """Bad inputs fail loudly, not with a nonsense interval."""
+    with pytest.raises(ValueError):
+        binomial_ci(1, 0)
+    with pytest.raises(ValueError):
+        binomial_ci(5, 4)
+    with pytest.raises(ValueError):
+        binomial_ci(-1, 4)
+    with pytest.raises(ValueError):
+        binomial_ci(2, 4, method="bootstrap")
+    with pytest.raises(ValueError):
+        wilson_interval(2, 4, confidence=0.4)
