@@ -24,6 +24,9 @@ Sub-packages
 * :mod:`repro.circuits` -- application circuits and coupling usage.
 * :mod:`repro.scenarios` -- the declarative fault-scenario taxonomy and
   the matrix report behind ``python -m repro scenarios``.
+* :mod:`repro.arena` -- the diagnoser tournament: every strategy behind
+  one ``diagnose(machine, budget)`` interface, timeout-bounded scoring,
+  and the leaderboard report behind ``python -m repro arena``.
 * :mod:`repro.analysis` -- thresholds, reporting, per-figure experiments,
   and the unified experiment runner behind ``python -m repro``.
 
@@ -65,6 +68,14 @@ from .scenarios import (
     build_scenario,
     default_scenarios,
 )
+from .arena import (
+    Diagnosis,
+    DiagnoserContext,
+    TimeBudget,
+    build_diagnoser,
+    default_diagnosers,
+    run_bounded,
+)
 from .sim import Circuit, StatevectorSimulator, XXCircuitEvaluator
 from .trap import (
     CompiledBattery,
@@ -75,7 +86,7 @@ from .trap import (
     VirtualIonTrap,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AdaptiveBinarySearch",
@@ -99,6 +110,12 @@ __all__ = [
     "ScenarioSpec",
     "build_scenario",
     "default_scenarios",
+    "Diagnosis",
+    "DiagnoserContext",
+    "TimeBudget",
+    "build_diagnoser",
+    "default_diagnosers",
+    "run_bounded",
     "Circuit",
     "StatevectorSimulator",
     "XXCircuitEvaluator",

@@ -298,6 +298,64 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute even when cached results exist",
     )
+
+    arena = sub.add_parser(
+        "arena",
+        help="run the diagnoser tournament over the scenario matrix",
+    )
+    arena_preset = arena.add_mutually_exclusive_group()
+    arena_preset.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tournament at smoke scale (the default; seconds)",
+    )
+    arena_preset.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized tournament (minutes)",
+    )
+    arena.add_argument(
+        "--kind",
+        dest="kinds",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only the named scenario kind (repeatable; default: all)",
+    )
+    arena.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=JSON",
+        help="override an ArenaConfig field (JSON value; repeatable)",
+    )
+    arena.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan scenario kinds out over N worker processes",
+    )
+    arena.add_argument(
+        "--out",
+        default=".",
+        help="directory for the ARENA_<preset>.json report (default: .)",
+    )
+    arena.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache location (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    arena.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    arena.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even when cached results exist",
+    )
     return parser
 
 
@@ -586,6 +644,112 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_arena(args: argparse.Namespace) -> int:
+    """Run the diagnoser tournament, print the leaderboard, emit the report.
+
+    Exits 1 when any embedded hard check fails — the arena's pass/fail
+    verdict is part of the artifact, not just the JSON.
+    """
+    from .arena.report import write_arena_json
+
+    preset = "full" if args.full else "smoke"
+    overrides = _parse_overrides(args.overrides)
+    try:
+        payload, records = runner.run_arena(
+            preset,
+            kinds=args.kinds or None,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            force=args.force,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"error: {message}") from exc
+    rows = []
+    for entry in payload["leaderboard"]:
+        fault, clean = entry["fault_trials"], entry["clean_trials"]
+        rows.append(
+            [
+                entry["rank"],
+                entry["diagnoser"],
+                f"{entry['detections']}/{fault}" if fault else "-",
+                (
+                    f"{entry['detection_ci_lower']:.2f}"
+                    if entry["detection_ci_lower"] is not None
+                    else "-"
+                ),
+                (
+                    f"{entry['false_alarm_rate']:.2f}"
+                    if entry["false_alarm_rate"] is not None
+                    else "-"
+                ),
+                (
+                    f"{entry['mean_precision']:.2f}"
+                    if entry["mean_precision"] is not None
+                    else "-"
+                ),
+                f"{entry['mean_shots']:.0f}",
+                f"{entry['mean_adaptations']:.1f}",
+                entry["timeouts"],
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "rank",
+                "diagnoser",
+                "detected",
+                "ci-lower",
+                "false-alarm",
+                "precision",
+                "shots",
+                "adapt",
+                "timeouts",
+            ],
+            rows,
+            title=f"diagnoser arena ({preset})",
+        )
+    )
+    crossover = payload["crossover"]
+    for row in crossover["per_n"]:
+        ratio = row["shot_ratio"]
+        print(
+            f"N={row['n_qubits']}: battery {row['battery_shots']:.0f} shots "
+            f"vs binary-search {row['binary_search_shots']:.0f} "
+            f"(ratio {ratio:.2f})" if ratio is not None else
+            f"N={row['n_qubits']}: battery {row['battery_shots']:.0f} shots, "
+            "binary-search unmeasured"
+        )
+    print(
+        "shot-cost crossover: "
+        + (
+            f"battery cheaper from N={crossover['crossover_n']}"
+            if crossover["crossover_n"] is not None
+            else "not reached in the measured range"
+        )
+    )
+    failed_hard = [
+        check
+        for check in payload["checks"]
+        if check["hard"] and not check["passed"]
+    ]
+    for check in payload["checks"]:
+        status = "PASS" if check["passed"] else "FAIL"
+        grade = "hard" if check["hard"] else "soft"
+        print(f"[{status}] ({grade}) {check['check_id']}: {check['observed']}")
+    cached = sum(r.cache_hit for r in records)
+    path = write_arena_json(payload, args.out)
+    print(
+        f"\n{len(payload['cells'])} cells across "
+        f"{len(payload['kinds'])} scenario kinds, "
+        f"{len(payload['diagnosers'])} diagnosers "
+        f"({cached}/{len(records)} kind jobs cache-served) -> {path}"
+    )
+    return 1 if failed_hard else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -601,6 +765,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "scenarios":
         return _cmd_scenarios(args)
+    if args.command == "arena":
+        return _cmd_arena(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

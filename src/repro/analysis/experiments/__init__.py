@@ -9,6 +9,7 @@ root) documents full-size vs ``--smoke`` parameters and the expected
 outputs for each figure.
 """
 
+from .arena import ArenaConfig, ArenaResult, run_arena_experiment
 from .fig2 import Fig2Config, Fig2Result, run_fig2
 from .fig3 import Fig3Config, Fig3Point, run_fig3
 from .fig6 import Fig6Config, Fig6Result, Fig6Row, battery_specs, run_fig6
@@ -32,6 +33,9 @@ from .table2 import (
 )
 
 __all__ = [
+    "ArenaConfig",
+    "ArenaResult",
+    "run_arena_experiment",
     "Fig2Config",
     "Fig2Result",
     "run_fig2",

@@ -60,6 +60,7 @@ __all__ = [
     "ScenarioCell",
     "ScenarioMatrixConfig",
     "ScenarioMatrixResult",
+    "calibrate_cell",
     "run_scenarios",
 ]
 
@@ -161,8 +162,8 @@ def _cell_engines(spec: ScenarioSpec) -> tuple[str, ...]:
     return ("xx", "dense") if spec.is_xx_preserving() else ("dense",)
 
 
-def _calibrate_cell(
-    cfg: ScenarioMatrixConfig, n_qubits: int, spec: ScenarioSpec
+def calibrate_cell(
+    cfg, n_qubits: int, spec: ScenarioSpec
 ) -> tuple[CalibratedThresholds, BaselineBank, dict[int, Any]]:
     """Thresholds, contrast baselines and compiled batteries for a cell.
 
@@ -173,6 +174,13 @@ def _calibrate_cell(
     means and the verify mean/std.  The static batteries are compiled
     once per repetition count and reused by every baseline and detection
     trial.
+
+    ``cfg`` is duck-typed over the calibration fields
+    (``repetition_counts``, ``baseline_trials``, ``noise_realizations``,
+    ``shots``, ``verify_shots``, ``threshold_quantile``,
+    ``threshold_margin``) so the diagnoser arena's config calibrates its
+    cells through the same code path as the scenario matrix — the two
+    workloads grade against identical thresholds and baselines.
     """
     noise = spec.noise_parameters()
     pairs = all_pairs(n_qubits)
@@ -373,7 +381,7 @@ def _run_cell(args: tuple[ScenarioMatrixConfig, int, str]) -> ScenarioCell:
     """Worker entry point for the cell fan-out (must be module-level)."""
     cfg, n_qubits, kind = args
     spec = build_scenario(kind, n_qubits)
-    thresholds, bank, batteries = _calibrate_cell(cfg, n_qubits, spec)
+    thresholds, bank, batteries = calibrate_cell(cfg, n_qubits, spec)
     counts, ambiguous = _detection_counts(
         cfg, n_qubits, spec, thresholds, batteries
     )

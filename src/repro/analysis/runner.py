@@ -39,6 +39,7 @@ __all__ = [
     "config_digest",
     "default_cache_dir",
     "fan_out",
+    "run_arena",
     "run_experiment",
     "run_many",
     "run_replicates",
@@ -508,6 +509,88 @@ def run_scenario_matrix(
         records=record_info,
     )
     validate_matrix_payload(payload)
+    return payload, [record for _, record in results]
+
+
+def run_arena(
+    preset: str = "smoke",
+    kinds: list[str] | None = None,
+    overrides: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+) -> tuple[dict[str, Any], list[RunRecord]]:
+    """Sweep the ``arena`` experiment per scenario kind and merge the tournament.
+
+    The arena front door behind ``python -m repro arena``, shaped exactly
+    like :func:`run_scenario_matrix`: each scenario kind runs as its own
+    ``arena``-experiment job (``run_sweep`` over the arena config's
+    ``scenarios`` field) so kinds cache independently and fan out over
+    ``jobs`` worker processes; the per-kind records merge into one
+    schema-validated ``ARENA_<label>`` payload
+    (:mod:`repro.arena.report`) — every (diagnoser, kind, N) cell, the
+    pooled leaderboard, the measured battery-vs-binary-search shot-cost
+    crossover and the embedded pass/fail checks.
+
+    Returns ``(arena_payload, records)``; write the payload with
+    :func:`repro.arena.report.write_arena_json`.
+    """
+    from ..arena.report import arena_payload, validate_arena_payload
+    from ..scenarios.spec import SCENARIO_KINDS
+
+    spec = get_experiment("arena")
+    base = dict(overrides or {})
+    # The sweep owns the ``scenarios`` field (explicit ``kinds`` wins).
+    override_kinds = base.pop("scenarios", None)
+    kinds = list(
+        kinds
+        if kinds is not None
+        else (override_kinds or spec.config(preset).scenarios)
+    )
+    unknown = set(kinds) - set(SCENARIO_KINDS)
+    if unknown:
+        raise ValueError(
+            "unknown scenario kinds: "
+            + ", ".join(sorted(unknown))
+            + "; known: "
+            + ", ".join(SCENARIO_KINDS)
+        )
+    results = run_sweep(
+        "arena",
+        {"scenarios": [[kind] for kind in kinds]},
+        preset=preset,
+        base_overrides=base or None,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        force=force,
+    )
+    cells: list[dict[str, Any]] = []
+    record_info: list[dict[str, Any]] = []
+    for point, record in results:
+        result = record.payload["result"]
+        cells.extend(result["cells"])
+        record_info.append(
+            {
+                "kinds": list(point["scenarios"]),
+                "config_digest": record.config_digest,
+                "cache_hit": record.cache_hit,
+            }
+        )
+    config = results[0][1].payload["config"]
+    payload = arena_payload(
+        preset=preset,
+        cells=cells,
+        budget={
+            "soft_seconds": config["soft_seconds"],
+            "hard_seconds": config["hard_seconds"],
+        },
+        detect_floor=float(config["detect_floor"]),
+        random_detect_rate=float(config["random_detect_rate"]),
+        records=record_info,
+    )
+    validate_arena_payload(payload)
     return payload, [record for _, record in results]
 
 

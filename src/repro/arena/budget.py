@@ -1,0 +1,151 @@
+"""Per-diagnosis time budgets: soft (cooperative) and hard (SIGALRM).
+
+The arena runs every diagnoser over the same scenario cell under one
+clock discipline, borrowed from the DXC diagnostic-competition harness
+(SNIPPETS.md snippets 1-2):
+
+* **Soft budget** — the diagnoser is *expected* to notice it ran out of
+  time and return early.  :class:`BudgetedExecutor` enforces this at
+  test-circuit granularity: every ``execute`` call first checks the
+  budget and raises :class:`SoftBudgetExceeded`, which the diagnoser
+  adapters convert into a partial, ``timed_out`` diagnosis.
+* **Hard deadline** — a diagnoser that ignores the soft budget (an
+  infinite loop, a stalled backend) is killed from outside by a
+  ``SIGALRM`` timer (:func:`hard_deadline`); the arena scores the cell
+  as a timeout and moves on instead of hanging the whole sweep.
+
+On platforms without ``SIGALRM`` (Windows) the hard deadline degrades
+to a no-op and only the cooperative soft budget applies.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..core.protocol import TestExecutor, TestResult
+from ..core.tests_builder import TestSpec
+
+__all__ = [
+    "BudgetedExecutor",
+    "DiagnosisTimeout",
+    "SoftBudgetExceeded",
+    "TimeBudget",
+    "hard_deadline",
+    "has_hard_deadline",
+]
+
+
+class SoftBudgetExceeded(Exception):
+    """The cooperative (soft) time budget ran out mid-diagnosis."""
+
+
+class DiagnosisTimeout(Exception):
+    """The hard deadline fired: the diagnoser was killed from outside."""
+
+
+@dataclass
+class TimeBudget:
+    """One diagnosis session's time allowance.
+
+    ``soft_seconds`` is the budget a well-behaved diagnoser honors (via
+    :class:`BudgetedExecutor` checks between test circuits);
+    ``hard_seconds`` is the external kill deadline.  ``None`` disables
+    either bound.  The clock starts at :meth:`begin` (the arena harness
+    calls it immediately before ``diagnose``).
+    """
+
+    soft_seconds: float | None = None
+    hard_seconds: float | None = None
+    started_at: float | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        for bound in (self.soft_seconds, self.hard_seconds):
+            if bound is not None and bound < 0:
+                raise ValueError("time budgets must be non-negative")
+        if (
+            self.soft_seconds is not None
+            and self.hard_seconds is not None
+            and self.hard_seconds < self.soft_seconds
+        ):
+            raise ValueError("hard deadline must not precede the soft budget")
+
+    def begin(self) -> "TimeBudget":
+        """Start (or restart) the budget clock; returns self for chaining."""
+        self.started_at = time.perf_counter()
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`begin` (0.0 before the clock starts)."""
+        if self.started_at is None:
+            return 0.0
+        return time.perf_counter() - self.started_at
+
+    def soft_expired(self) -> bool:
+        """True once the cooperative budget is spent."""
+        return self.soft_seconds is not None and self.elapsed() >= self.soft_seconds
+
+    def soft_remaining(self) -> float | None:
+        """Seconds left on the soft budget (``None`` when unbounded)."""
+        if self.soft_seconds is None:
+            return None
+        return max(0.0, self.soft_seconds - self.elapsed())
+
+
+def has_hard_deadline() -> bool:
+    """Whether this platform can enforce hard deadlines (SIGALRM)."""
+    return hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
+
+
+@contextmanager
+def hard_deadline(seconds: float | None):
+    """Raise :class:`DiagnosisTimeout` in the block after ``seconds``.
+
+    A ``SIGALRM`` interval timer (main-thread only, like the DXC
+    harness); the previous handler and any pending timer are restored on
+    exit.  ``seconds`` of ``None`` — or a platform without ``SIGALRM`` —
+    yields without arming anything.
+    """
+    if seconds is None or not has_hard_deadline():
+        yield
+        return
+    if seconds <= 0:
+        raise DiagnosisTimeout("hard deadline is already spent")
+
+    def _on_alarm(signum, frame):
+        raise DiagnosisTimeout(f"diagnosis exceeded {seconds:.3f}s hard deadline")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class BudgetedExecutor(TestExecutor):
+    """A :class:`~repro.core.protocol.TestExecutor` that honors a budget.
+
+    Every ``execute`` call first checks the attached
+    :class:`TimeBudget`'s soft bound and raises
+    :class:`SoftBudgetExceeded` once it is spent — so any strategy
+    driven through this executor becomes budget-cooperative at
+    test-circuit granularity without knowing about budgets itself.
+    The cost tracker keeps counting across the interruption, so a
+    partial session's shots are still accounted.
+    """
+
+    budget: TimeBudget = field(default_factory=TimeBudget)
+
+    def execute(self, spec: TestSpec) -> TestResult:
+        """Check the soft budget, then run the test as usual."""
+        if self.budget.soft_expired():
+            raise SoftBudgetExceeded(
+                f"soft budget ({self.budget.soft_seconds:.3f}s) spent "
+                f"after {self.budget.elapsed():.3f}s"
+            )
+        return super().execute(spec)

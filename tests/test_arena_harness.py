@@ -1,0 +1,253 @@
+"""Arena harness tests: timeout enforcement and baseline sanity.
+
+The tournament's fairness rests on two mechanisms this file pins down:
+
+* **Timeouts** — a diagnoser that ignores its cooperative budget is
+  killed at the hard ``SIGALRM`` deadline, scored as a timeout, and the
+  sweep continues with the next competitor (no stalled diagnoser can
+  hang the arena).  Hard-deadline tests are skipped on platforms
+  without ``SIGALRM``.
+* **Baselines** — the reference diagnosers behave exactly as their
+  scoring roles demand: Null never raises an alarm, Worst always detects
+  with the maximal C(N,2) ambiguity group, and Random's detection rate
+  matches its analytic coin bias within a binomial confidence interval
+  (the bound the battery must beat in every cell).
+"""
+
+import math
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.arena.budget import (
+    DiagnosisTimeout,
+    TimeBudget,
+    hard_deadline,
+    has_hard_deadline,
+)
+from repro.arena.diagnosers import (
+    Diagnosis,
+    DiagnoserContext,
+    NullDiagnoser,
+    RandomDiagnoser,
+    WorstDiagnoser,
+    run_bounded,
+)
+from repro.arena.scoring import grade_trial, score_trial
+from repro.validation.stats import binomial_ci
+
+N_QUBITS = 6
+
+needs_sigalrm = pytest.mark.skipif(
+    not has_hard_deadline(), reason="platform has no SIGALRM hard deadlines"
+)
+
+
+@dataclass(frozen=True)
+class _StubMachine:
+    """The minimum surface the baselines touch: a seed and a size."""
+
+    seed: int = 0
+    n_qubits: int = N_QUBITS
+
+
+def _ctx(random_detect_rate=0.25):
+    """A context for machine-free diagnosers (thresholds never consulted)."""
+    return DiagnoserContext(
+        n_qubits=N_QUBITS,
+        thresholds=None,
+        random_detect_rate=random_detect_rate,
+    )
+
+
+class _StallingDiagnoser:
+    """A diagnoser that ignores its budget and spins forever."""
+
+    name = "stall"
+
+    def diagnose(self, machine, budget):
+        """Busy-wait far past any deadline (must be killed externally)."""
+        deadline = time.perf_counter() + 60.0
+        while time.perf_counter() < deadline:
+            pass
+        raise AssertionError("the hard deadline never fired")
+
+
+class TestHardDeadline:
+    """The external SIGALRM kill switch."""
+
+    @needs_sigalrm
+    def test_stalling_diagnoser_is_killed_and_scored_timeout(self):
+        """The stall dies at the hard deadline with a timed-out diagnosis."""
+        budget = TimeBudget(soft_seconds=0.05, hard_seconds=0.2)
+        start = time.perf_counter()
+        diagnosis, wall = run_bounded(_StallingDiagnoser(), None, budget)
+        killed_after = time.perf_counter() - start
+        assert diagnosis.timed_out
+        assert not diagnosis.detected
+        assert diagnosis.claimed == ()
+        assert diagnosis.diagnoser == "stall"
+        assert killed_after < 5.0, "the kill must come from the timer"
+        assert wall == pytest.approx(killed_after, abs=0.5)
+
+    @needs_sigalrm
+    def test_sweep_continues_after_a_timeout(self):
+        """A stalled competitor never blocks the next one's session."""
+        ctx = _ctx()
+        stalled, _ = run_bounded(
+            _StallingDiagnoser(), None, TimeBudget(0.05, 0.2)
+        )
+        assert stalled.timed_out
+        after, _ = run_bounded(
+            NullDiagnoser(ctx), _StubMachine(), TimeBudget(0.05, 5.0)
+        )
+        assert after.diagnoser == "null"
+        assert not after.timed_out
+
+    @needs_sigalrm
+    def test_deadline_disarms_and_restores_the_previous_handler(self):
+        """Leaving the context cancels the timer and restores the handler."""
+        import signal
+
+        before = signal.getsignal(signal.SIGALRM)
+        with hard_deadline(30.0):
+            pass
+        assert signal.getsignal(signal.SIGALRM) is before
+        # No alarm may fire later: the itimer is fully disarmed.
+        assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+    @needs_sigalrm
+    def test_spent_deadline_raises_immediately(self):
+        """A zero hard deadline refuses to start the block at all."""
+        with pytest.raises(DiagnosisTimeout):
+            with hard_deadline(0.0):
+                raise AssertionError("the block must never run")
+
+    def test_unbounded_deadline_is_a_no_op(self):
+        """``None`` yields without arming any timer on any platform."""
+        with hard_deadline(None):
+            pass
+
+
+class TestTimeBudget:
+    """The cooperative clock's bookkeeping."""
+
+    def test_rejects_inverted_bounds(self):
+        """A hard deadline before the soft budget is a config error."""
+        with pytest.raises(ValueError):
+            TimeBudget(soft_seconds=10.0, hard_seconds=5.0)
+        with pytest.raises(ValueError):
+            TimeBudget(soft_seconds=-1.0)
+
+    def test_clock_starts_at_begin(self):
+        """elapsed() is zero before begin() and monotonic after."""
+        budget = TimeBudget(soft_seconds=100.0)
+        assert budget.elapsed() == 0.0
+        assert not budget.soft_expired()
+        budget.begin()
+        assert budget.elapsed() >= 0.0
+        assert budget.soft_remaining() == pytest.approx(100.0, abs=1.0)
+
+    def test_zero_soft_budget_expires_immediately(self):
+        """A zero-second soft budget is spent the moment it begins."""
+        assert TimeBudget(soft_seconds=0.0).begin().soft_expired()
+
+
+class TestBaselines:
+    """Null / Worst / Random behave exactly as their scoring roles demand."""
+
+    def test_null_never_detects(self):
+        """The floor: no alarm on any machine, faulty or clean."""
+        diagnoser = NullDiagnoser(_ctx())
+        for seed in range(25):
+            diagnosis = diagnoser.diagnose(_StubMachine(seed), TimeBudget())
+            assert not diagnosis.detected
+            assert diagnosis.claimed == ()
+            assert diagnosis.shots == 0
+
+    def test_worst_always_detects_with_maximal_ambiguity(self):
+        """The accuse-everything baseline claims every C(N,2) coupling."""
+        diagnosis = WorstDiagnoser(_ctx()).diagnose(
+            _StubMachine(), TimeBudget()
+        )
+        assert diagnosis.detected
+        assert len(diagnosis.ambiguity_group) == math.comb(N_QUBITS, 2)
+        assert set(diagnosis.claimed) == diagnosis.ambiguity_group
+
+    def test_worst_minimizes_precision_on_a_single_fault(self):
+        """One true fault among C(N,2) accusations scores 1/C(N,2)."""
+        diagnosis = WorstDiagnoser(_ctx()).diagnose(
+            _StubMachine(), TimeBudget()
+        )
+        score = score_trial(diagnosis, [frozenset({0, 1})], "fault")
+        assert score.covered
+        assert score.precision == pytest.approx(1 / math.comb(N_QUBITS, 2))
+
+    def test_random_detection_rate_matches_analytic_expectation(self):
+        """The empirical coin lands inside its own binomial CI.
+
+        Random detects with probability ``random_detect_rate`` seeded by
+        the machine; over many machines the observed rate's 95% CI must
+        cover the analytic 0.25 — the exact bound the arena's
+        ``battery_beats_random`` check compares the battery against.
+        """
+        rate = 0.25
+        diagnoser = RandomDiagnoser(_ctx(random_detect_rate=rate))
+        trials = 400
+        detections = sum(
+            diagnoser.diagnose(_StubMachine(seed), TimeBudget()).detected
+            for seed in range(trials)
+        )
+        ci = binomial_ci(detections, trials)
+        assert ci.lower <= rate <= ci.upper
+
+    def test_random_is_reproducible_per_machine(self):
+        """The verdict is a pure function of the machine's seed."""
+        diagnoser = RandomDiagnoser(_ctx())
+        first = diagnoser.diagnose(_StubMachine(3), TimeBudget())
+        again = diagnoser.diagnose(_StubMachine(3), TimeBudget())
+        assert first == again
+
+    def test_random_accusation_is_a_single_known_coupling(self):
+        """On detection, exactly one real coupling is accused."""
+        diagnoser = RandomDiagnoser(_ctx(random_detect_rate=1.0))
+        diagnosis = diagnoser.diagnose(_StubMachine(5), TimeBudget())
+        assert diagnosis.detected
+        assert len(diagnosis.claimed) == 1
+        (pair,) = diagnosis.claimed
+        assert len(pair) == 2
+        assert all(0 <= q < N_QUBITS for q in pair)
+
+
+class TestGrading:
+    """The band classification the baselines are graded against."""
+
+    def test_grade_trial_bands(self):
+        """Above the band is fault, below clean, inside ambiguous."""
+        assert grade_trial(0.30, 0.18, 0.3) == "fault"
+        assert grade_trial(0.234, 0.18, 0.3) == "fault"
+        assert grade_trial(0.06, 0.18, 0.3) == "clean"
+        assert grade_trial(0.126, 0.18, 0.3) == "clean"
+        assert grade_trial(0.18, 0.18, 0.3) == "ambiguous"
+
+    def test_clean_trial_grades_detection_only(self):
+        """On clean trials a detection is the only way to be wrong."""
+        null_score = score_trial(
+            Diagnosis(diagnoser="null", detected=False), [], "clean"
+        )
+        assert null_score.correct is True
+        assert null_score.precision is None
+        alarm = score_trial(
+            Diagnosis(diagnoser="worst", detected=True), [], "clean"
+        )
+        assert alarm.correct is False
+
+    def test_ambiguous_trial_is_ungraded(self):
+        """Inside the band neither verdict counts for or against."""
+        score = score_trial(
+            Diagnosis(diagnoser="null", detected=False),
+            [frozenset({0, 1})],
+            "ambiguous",
+        )
+        assert score.correct is None

@@ -10,6 +10,7 @@ import pytest
 from repro.analysis import registry, runner
 
 EXPECTED_EXPERIMENTS = {
+    "arena",
     "fig2",
     "fig3",
     "fig6",

@@ -146,6 +146,103 @@ def test_relabeling_permutes_the_identified_coupling(kind):
     }
 
 
+def _map_pair(pair, perm):
+    """One coupling through the permutation."""
+    return frozenset(perm[q] for q in pair)
+
+
+@pytest.mark.parametrize("perm_name", sorted(PERMS))
+@pytest.mark.parametrize("truth_kind", ["fault", "clean", "ambiguous"])
+def test_arena_scoring_is_permutation_invariant(perm_name, truth_kind):
+    """score_trial(σ·diagnosis, σ·truth) == score_trial(diagnosis, truth).
+
+    The arena's scoring is pure set arithmetic over the diagnosis and
+    the ground truth, so pushing *both* through the same relabeling must
+    leave every scored field bitwise unchanged — including the ordered
+    ``isolated_top`` comparison and the precision ratio.
+    """
+    from repro.arena.diagnosers import Diagnosis
+    from repro.arena.scoring import score_trial
+
+    perm = PERMS[perm_name]
+    truth = [frozenset({0, 3}), frozenset({2, 5}), frozenset({1, 4})]
+    diagnosis = Diagnosis(
+        diagnoser="point-check",
+        detected=True,
+        claimed=(frozenset({0, 3}), frozenset({0, 1})),
+        ambiguity_group=frozenset(
+            {frozenset({0, 3}), frozenset({0, 1}), frozenset({2, 5})}
+        ),
+        tests_used=15,
+        shots=900,
+        adaptations=0,
+    )
+    mapped = dataclasses.replace(
+        diagnosis,
+        claimed=tuple(_map_pair(p, perm) for p in diagnosis.claimed),
+        ambiguity_group=frozenset(
+            _map_pair(p, perm) for p in diagnosis.ambiguity_group
+        ),
+    )
+    base = score_trial(diagnosis, truth, truth_kind)
+    permuted = score_trial(
+        mapped, [_map_pair(p, perm) for p in truth], truth_kind
+    )
+    assert permuted == base
+
+
+@pytest.mark.parametrize("perm_name", sorted(PERMS))
+def test_arena_diagnosis_is_permutation_equivariant(perm_name):
+    """A relabeled planted fault yields the relabeled diagnosis.
+
+    End-to-end through a real strategy adapter: the point-check
+    diagnoser on a noiseless machine with one planted coupling fault
+    isolates exactly that coupling, so diagnosing the relabeled machine
+    claims exactly the relabeled coupling at identical cost — and the
+    two trials fold into bitwise-identical arena cell payloads.
+    """
+    from repro.arena.budget import TimeBudget
+    from repro.arena.diagnosers import DiagnoserContext, PointCheckDiagnoser
+    from repro.arena.report import cell_payload
+    from repro.arena.scoring import CellScore, score_trial
+    from repro.core.protocol import FixedThresholds
+    from repro.noise.models import NoiseParameters
+    from repro.trap.machine import CouplingFault
+
+    perm = PERMS[perm_name]
+    pair = frozenset({0, 3})
+
+    def _diagnose(fault_pair):
+        machine = VirtualIonTrap(
+            N_QUBITS, noise=NoiseParameters.noiseless(), seed=17
+        )
+        machine.inject_fault(CouplingFault(fault_pair, under_rotation=0.5))
+        ctx = DiagnoserContext(
+            n_qubits=N_QUBITS, thresholds=FixedThresholds(), shots=64
+        )
+        return PointCheckDiagnoser(ctx).diagnose(machine, TimeBudget())
+
+    base = _diagnose(pair)
+    permuted = _diagnose(_map_pair(pair, perm))
+    assert base.claimed == (pair,)
+    assert permuted.claimed == (_map_pair(pair, perm),)
+    assert permuted.ambiguity_group == {
+        _map_pair(p, perm) for p in base.ambiguity_group
+    }
+    assert (permuted.tests_used, permuted.shots, permuted.adaptations) == (
+        base.tests_used,
+        base.shots,
+        base.adaptations,
+    )
+
+    def _cell(diagnosis, truth):
+        cell = CellScore(diagnoser="point-check", kind="planted", n_qubits=N_QUBITS)
+        cell.add(score_trial(diagnosis, truth, "fault"))
+        return cell_payload(cell)
+
+    assert _cell(base, [pair]) == _cell(permuted, [_map_pair(pair, perm)])
+
+
 def test_relabel_round_trip_and_ground_truth():
     """relabel() is invertible and preserves severity ordering."""
     perm = PERMS["rotate"]

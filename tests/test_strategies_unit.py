@@ -1,0 +1,182 @@
+"""Unit tests for the Sec. IV baseline strategies.
+
+Covers the two previously-untested strategy modules with deterministic
+planted faults: :mod:`repro.core.binary_search` (the adaptive halving
+search whose per-step adaptations Fig. 10 charges for) and
+:mod:`repro.core.point_check` (the brute-force one-test-per-coupling
+reference).  Machines are noiseless, so a 50% under-rotation at four
+repetitions pushes the faulty test's match fraction decisively below the
+Fig. 6 threshold on every shot batch — outcomes are exact, not
+statistical.
+
+Also exercises the arena's budget plumbing at the strategy level: a
+:class:`~repro.arena.budget.BudgetedExecutor` whose soft budget is
+already exhausted stops either strategy mid-session with
+:class:`~repro.arena.budget.SoftBudgetExceeded`, and the shared
+:class:`~repro.core.cost.CostTracker` accounts every shot and adaptation
+of what did run.
+"""
+
+import math
+
+import pytest
+
+from repro.arena.budget import BudgetedExecutor, SoftBudgetExceeded, TimeBudget
+from repro.core.binary_search import AdaptiveBinarySearch
+from repro.core.combinatorics import all_couplings
+from repro.core.point_check import PointCheckStrategy
+from repro.core.protocol import TestExecutor
+from repro.noise.models import NoiseParameters
+from repro.trap.machine import CouplingFault, VirtualIonTrap
+
+N_QUBITS = 6
+SHOTS = 64
+FAULT_MAGNITUDE = 0.5
+
+
+def _machine(faults=(), seed=7):
+    """A noiseless machine with the given under-rotated couplings."""
+    machine = VirtualIonTrap(
+        N_QUBITS, noise=NoiseParameters.noiseless(), seed=seed
+    )
+    for pair in faults:
+        machine.inject_fault(
+            CouplingFault(frozenset(pair), under_rotation=FAULT_MAGNITUDE)
+        )
+    return machine
+
+
+def _executor(machine):
+    """Executor with the Fig. 6 fixed thresholds and a fresh cost tracker."""
+    return TestExecutor(machine, shots=SHOTS)
+
+
+class TestAdaptiveBinarySearch:
+    """The halving search: isolation, cost accounting, budget behavior."""
+
+    @pytest.mark.parametrize("pair", [(0, 1), (2, 5), (4, 5), (0, 3)])
+    def test_finds_planted_single_fault(self, pair):
+        """Any planted coupling is isolated exactly, wherever it sits."""
+        executor = _executor(_machine([pair]))
+        outcome = AdaptiveBinarySearch(N_QUBITS).find_one(executor)
+        assert outcome.identified == frozenset(pair)
+
+    def test_logarithmic_test_count_and_adaptation_accounting(self):
+        """ceil(log2 C(N,2)) halvings + 1 verify, one adaptation each.
+
+        The accounting Fig. 10's economics rest on: every halving step is
+        adaptive (the next test depends on the last outcome), the final
+        single-coupling verify is not.
+        """
+        executor = _executor(_machine([(2, 5)]))
+        outcome = AdaptiveBinarySearch(N_QUBITS).find_one(executor)
+        n_pairs = math.comb(N_QUBITS, 2)
+        assert outcome.adaptations == math.ceil(math.log2(n_pairs))
+        assert outcome.tests_used == outcome.adaptations + 1
+        assert executor.cost.adaptations == outcome.adaptations
+        assert executor.cost.circuit_runs == outcome.tests_used
+        assert executor.cost.shots == outcome.tests_used * SHOTS
+
+    def test_clean_machine_reports_no_fault(self):
+        """On a fault-free machine the survivor fails verification."""
+        outcome = AdaptiveBinarySearch(N_QUBITS).find_one(
+            _executor(_machine())
+        )
+        assert outcome.identified is None
+
+    def test_find_all_recovers_multiple_faults(self):
+        """Repeated searches with exclusion recover every planted fault."""
+        planted = {frozenset({0, 1}), frozenset({3, 4})}
+        executor = _executor(_machine(planted))
+        found = AdaptiveBinarySearch(N_QUBITS).find_all(executor)
+        assert set(found) == planted
+
+    def test_find_all_respects_max_faults(self):
+        """The exclusion loop stops at the iteration safety bound."""
+        planted = {frozenset({0, 1}), frozenset({3, 4})}
+        executor = _executor(_machine(planted))
+        found = AdaptiveBinarySearch(N_QUBITS).find_all(
+            executor, max_faults=1
+        )
+        assert len(found) == 1
+        assert found[0] in planted
+
+    def test_restricted_suspect_set_is_honoured(self):
+        """Only the relevant couplings are ever suspected or tested."""
+        relevant = {frozenset({0, 1}), frozenset({2, 3}), frozenset({4, 5})}
+        executor = _executor(_machine([(2, 3)]))
+        outcome = AdaptiveBinarySearch(
+            N_QUBITS, relevant=relevant
+        ).find_one(executor)
+        assert outcome.identified == frozenset({2, 3})
+        # 3 suspects halve in 2 steps; the verify is the 3rd test.
+        assert outcome.tests_used <= 3
+
+    def test_exhausted_soft_budget_stops_the_search(self):
+        """A zero soft budget aborts before any circuit runs."""
+        executor = BudgetedExecutor(
+            _machine([(0, 1)]),
+            shots=SHOTS,
+            budget=TimeBudget(soft_seconds=0.0).begin(),
+        )
+        with pytest.raises(SoftBudgetExceeded):
+            AdaptiveBinarySearch(N_QUBITS).find_one(executor)
+        assert executor.cost.shots == 0
+
+
+class TestPointCheckStrategy:
+    """The N² reference: coverage, exactness, cost accounting."""
+
+    def test_specs_cover_every_coupling_once(self):
+        """One single-pair spec per coupling, deterministic order."""
+        specs = PointCheckStrategy(N_QUBITS).specs()
+        assert len(specs) == math.comb(N_QUBITS, 2)
+        assert [s.pairs[0] for s in specs] == sorted(
+            all_couplings(N_QUBITS), key=sorted
+        )
+        assert all(len(s.pairs) == 1 for s in specs)
+
+    def test_find_all_is_exact_on_planted_faults(self):
+        """Exactly the planted couplings fail — no misses, no extras."""
+        planted = {frozenset({0, 2}), frozenset({1, 5}), frozenset({3, 4})}
+        executor = _executor(_machine(planted))
+        assert set(PointCheckStrategy(N_QUBITS).find_all(executor)) == planted
+
+    def test_clean_machine_finds_nothing(self):
+        """A fault-free machine passes every point check."""
+        assert PointCheckStrategy(N_QUBITS).find_all(
+            _executor(_machine())
+        ) == []
+
+    def test_quadratic_shot_accounting_without_adaptations(self):
+        """C(N,2) circuits at full shots each, zero adaptations.
+
+        The non-adaptive batch never pays a recompile — its entire cost
+        is the quadratic circuit count Fig. 10 divides away.
+        """
+        executor = _executor(_machine([(1, 2)]))
+        results = PointCheckStrategy(N_QUBITS).run(executor)
+        n_pairs = math.comb(N_QUBITS, 2)
+        assert len(results) == n_pairs
+        assert executor.cost.circuit_runs == n_pairs
+        assert executor.cost.shots == n_pairs * SHOTS
+        assert executor.cost.adaptations == 0
+
+    def test_restricted_relevant_set_limits_the_batch(self):
+        """Only the relevant couplings are checked (and billed)."""
+        relevant = {frozenset({0, 1}), frozenset({4, 5})}
+        executor = _executor(_machine([(4, 5)]))
+        strategy = PointCheckStrategy(N_QUBITS, relevant=relevant)
+        assert set(strategy.find_all(executor)) == {frozenset({4, 5})}
+        assert executor.cost.circuit_runs == len(relevant)
+
+    def test_exhausted_soft_budget_stops_mid_batch(self):
+        """The budgeted executor aborts the batch before the first shot."""
+        executor = BudgetedExecutor(
+            _machine([(0, 1)]),
+            shots=SHOTS,
+            budget=TimeBudget(soft_seconds=0.0).begin(),
+        )
+        with pytest.raises(SoftBudgetExceeded):
+            PointCheckStrategy(N_QUBITS).run(executor)
+        assert executor.cost.shots == 0
