@@ -27,6 +27,9 @@ Sub-packages
 * :mod:`repro.arena` -- the diagnoser tournament: every strategy behind
   one ``diagnose(machine, budget)`` interface, timeout-bounded scoring,
   and the leaderboard report behind ``python -m repro arena``.
+* :mod:`repro.fleet` -- the fleet-over-time simulator: drifting
+  fault-injected traps under pluggable maintenance policies, with the
+  policy sweep behind ``python -m repro fleet``.
 * :mod:`repro.analysis` -- thresholds, reporting, per-figure experiments,
   and the unified experiment runner behind ``python -m repro``.
 
@@ -76,6 +79,16 @@ from .arena import (
     default_diagnosers,
     run_bounded,
 )
+from .fleet import (
+    EventLoop,
+    FleetTrap,
+    MaintenancePolicy,
+    POLICY_NAMES,
+    RepairModel,
+    build_policy,
+    plan_repairs,
+    simulate_policy,
+)
 from .sim import Circuit, StatevectorSimulator, XXCircuitEvaluator
 from .trap import (
     CompiledBattery,
@@ -86,7 +99,7 @@ from .trap import (
     VirtualIonTrap,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AdaptiveBinarySearch",
@@ -116,6 +129,14 @@ __all__ = [
     "build_diagnoser",
     "default_diagnosers",
     "run_bounded",
+    "EventLoop",
+    "FleetTrap",
+    "MaintenancePolicy",
+    "POLICY_NAMES",
+    "RepairModel",
+    "build_policy",
+    "plan_repairs",
+    "simulate_policy",
     "Circuit",
     "StatevectorSimulator",
     "XXCircuitEvaluator",

@@ -356,6 +356,64 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute even when cached results exist",
     )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate maintenance policies over a fleet of drifting traps",
+    )
+    fleet_preset = fleet.add_mutually_exclusive_group()
+    fleet_preset.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fleet sweep at smoke scale (the default; seconds)",
+    )
+    fleet_preset.add_argument(
+        "--full",
+        action="store_true",
+        help="full-window fleet sweep (minutes)",
+    )
+    fleet.add_argument(
+        "--policy",
+        dest="policies",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only the named maintenance policy (repeatable; default: all)",
+    )
+    fleet.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=JSON",
+        help="override a FleetConfig field (JSON value; repeatable)",
+    )
+    fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan policies out over N worker processes",
+    )
+    fleet.add_argument(
+        "--out",
+        default=".",
+        help="directory for the FLEET_<preset>.json report (default: .)",
+    )
+    fleet.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache location (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    fleet.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    fleet.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even when cached results exist",
+    )
     return parser
 
 
@@ -750,6 +808,93 @@ def _cmd_arena(args: argparse.Namespace) -> int:
     return 1 if failed_hard else 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the fleet sweep, print the policy table, emit the report.
+
+    Exits 1 when any embedded hard check fails — the Fig. 2 uptime
+    verdict is part of the artifact, not just the JSON.
+    """
+    from .fleet.report import write_fleet_json
+
+    preset = "full" if args.full else "smoke"
+    overrides = _parse_overrides(args.overrides)
+    try:
+        payload, records = runner.run_fleet(
+            preset,
+            policies=args.policies or None,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            force=args.force,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"error: {message}") from exc
+    rows = []
+    for entry in payload["leaderboard"]:
+        rows.append(
+            [
+                entry["rank"],
+                entry["policy"],
+                f"{entry['uptime']:.3f}",
+                f"{entry['good_jobs_per_hour']:.1f}",
+                f"{entry['corrupted_job_rate']:.3f}",
+                (
+                    f"{entry['mttr_seconds']:.0f}"
+                    if entry["mttr_seconds"] is not None
+                    else "-"
+                ),
+                entry["faults_repaired"],
+                entry["faults_quarantined"],
+                entry["stalls"],
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "rank",
+                "policy",
+                "uptime",
+                "jobs/h",
+                "corrupted",
+                "mttr-s",
+                "repaired",
+                "quarantined",
+                "stalls",
+            ],
+            rows,
+            title=f"fleet maintenance policies ({preset})",
+        )
+    )
+    for cell in payload["cells"]:
+        duty = cell["duty_cycle"]
+        states = cell["final_states"]
+        print(
+            f"{cell['policy']}: duty jobs {duty['jobs']:.2f} / tests "
+            f"{duty['coupling_tests']:.2f} / other "
+            f"{duty['other_calibration']:.2f}; final states "
+            f"{states['healthy']}H/{states['under-repair']}R/"
+            f"{states['quarantined-degraded']}Q"
+        )
+    failed_hard = [
+        check
+        for check in payload["checks"]
+        if check["hard"] and not check["passed"]
+    ]
+    for check in payload["checks"]:
+        status = "PASS" if check["passed"] else "FAIL"
+        grade = "hard" if check["hard"] else "soft"
+        print(f"[{status}] ({grade}) {check['check_id']}: {check['observed']}")
+    cached = sum(r.cache_hit for r in records)
+    path = write_fleet_json(payload, args.out)
+    print(
+        f"\n{len(payload['cells'])} policy cells "
+        f"({cached}/{len(records)} policy jobs cache-served) -> {path}"
+    )
+    return 1 if failed_hard else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -767,6 +912,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenarios(args)
     if args.command == "arena":
         return _cmd_arena(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

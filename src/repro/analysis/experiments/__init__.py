@@ -18,6 +18,7 @@ from .fig8 import Fig8Config, Fig8Series, class_test_for_pair, run_fig8
 from .fig9 import Fig9Config, Fig9Panel, distribution_snapshot, run_fig9
 from .fig10 import Fig10Config, Fig10Row, run_fig10, sec9_headline
 from .fig11 import Fig11Config, Fig11Row, run_fig11
+from .fleet import FleetConfig, FleetResult, run_fleet_experiment
 from .scenarios import (
     ScenarioCell,
     ScenarioMatrixConfig,
@@ -65,6 +66,9 @@ __all__ = [
     "Fig11Config",
     "Fig11Row",
     "run_fig11",
+    "FleetConfig",
+    "FleetResult",
+    "run_fleet_experiment",
     "ScenarioCell",
     "ScenarioMatrixConfig",
     "ScenarioMatrixResult",

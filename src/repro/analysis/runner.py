@@ -41,6 +41,7 @@ __all__ = [
     "fan_out",
     "run_arena",
     "run_experiment",
+    "run_fleet",
     "run_many",
     "run_replicates",
     "run_scenario_matrix",
@@ -591,6 +592,84 @@ def run_arena(
         records=record_info,
     )
     validate_arena_payload(payload)
+    return payload, [record for _, record in results]
+
+
+def run_fleet(
+    preset: str = "smoke",
+    policies: list[str] | None = None,
+    overrides: dict[str, Any] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+    force: bool = False,
+) -> tuple[dict[str, Any], list[RunRecord]]:
+    """Sweep the ``fleet`` experiment per policy and merge the report.
+
+    The fleet front door behind ``python -m repro fleet``, shaped exactly
+    like :func:`run_arena`: each maintenance policy runs as its own
+    ``fleet``-experiment job (``run_sweep`` over the fleet config's
+    ``policies`` field) so policies cache independently and fan out over
+    ``jobs`` worker processes; the per-policy records merge into one
+    schema-validated ``FLEET_<label>`` payload
+    (:mod:`repro.fleet.report`) — every policy's uptime / throughput /
+    MTTR / corruption cell, the leaderboard and the embedded pass/fail
+    checks (including the Fig. 2 duty-cycle reconciliation).
+
+    Returns ``(fleet_payload, records)``; write the payload with
+    :func:`repro.fleet.report.write_fleet_json`.
+    """
+    from ..fleet.policies import POLICY_NAMES
+    from ..fleet.report import fleet_payload, validate_fleet_payload
+
+    spec = get_experiment("fleet")
+    base = dict(overrides or {})
+    # The sweep owns the ``policies`` field (explicit ``policies`` wins).
+    override_policies = base.pop("policies", None)
+    policies = list(
+        policies
+        if policies is not None
+        else (override_policies or spec.config(preset).policies)
+    )
+    unknown = set(policies) - set(POLICY_NAMES)
+    if unknown:
+        raise ValueError(
+            "unknown policies: "
+            + ", ".join(sorted(unknown))
+            + "; known: "
+            + ", ".join(POLICY_NAMES)
+        )
+    results = run_sweep(
+        "fleet",
+        {"policies": [[policy] for policy in policies]},
+        preset=preset,
+        base_overrides=base or None,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        force=force,
+    )
+    cells: list[dict[str, Any]] = []
+    record_info: list[dict[str, Any]] = []
+    for point, record in results:
+        result = record.payload["result"]
+        cells.extend(result["cells"])
+        record_info.append(
+            {
+                "policies": list(point["policies"]),
+                "config_digest": record.config_digest,
+                "cache_hit": record.cache_hit,
+            }
+        )
+    config = results[0][1].payload["config"]
+    payload = fleet_payload(
+        preset=preset,
+        cells=cells,
+        detect_floor=float(config["detect_floor"]),
+        corruption_floor=float(config["corruption_floor"]),
+        records=record_info,
+    )
+    validate_fleet_payload(payload)
     return payload, [record for _, record in results]
 
 

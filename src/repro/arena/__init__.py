@@ -18,6 +18,7 @@ from .budget import (
     TimeBudget,
     hard_deadline,
     has_hard_deadline,
+    run_with_thread_deadline,
 )
 from .diagnosers import (
     BASELINE_NAMES,
@@ -71,6 +72,7 @@ __all__ = [
     "hard_deadline",
     "has_hard_deadline",
     "run_bounded",
+    "run_with_thread_deadline",
     "score_trial",
     "validate_arena_payload",
     "write_arena_json",

@@ -1,4 +1,4 @@
-"""Per-diagnosis time budgets: soft (cooperative) and hard (SIGALRM).
+"""Per-diagnosis time budgets: soft (cooperative) and hard (SIGALRM/thread).
 
 The arena runs every diagnoser over the same scenario cell under one
 clock discipline, borrowed from the DXC diagnostic-competition harness
@@ -10,20 +10,33 @@ clock discipline, borrowed from the DXC diagnostic-competition harness
   budget and raises :class:`SoftBudgetExceeded`, which the diagnoser
   adapters convert into a partial, ``timed_out`` diagnosis.
 * **Hard deadline** — a diagnoser that ignores the soft budget (an
-  infinite loop, a stalled backend) is killed from outside by a
-  ``SIGALRM`` timer (:func:`hard_deadline`); the arena scores the cell
-  as a timeout and moves on instead of hanging the whole sweep.
+  infinite loop, a stalled backend) is killed from outside.  The default
+  mechanism is a ``SIGALRM`` interval timer (:func:`hard_deadline`);
+  because POSIX signals only fire on the main thread, callers off the
+  main thread (the fleet simulator's diagnosis episodes, worker threads)
+  use :func:`run_with_thread_deadline` — the diagnosis runs on a daemon
+  worker joined with a timeout, and an overrun raises
+  :class:`DiagnosisTimeout` in the caller while the stalled worker is
+  abandoned.  :func:`repro.arena.diagnosers.run_bounded` picks the
+  mechanism automatically.
 
-On platforms without ``SIGALRM`` (Windows) the hard deadline degrades
-to a no-op and only the cooperative soft budget applies.
+:class:`TimeBudget` takes an injectable monotonic ``clock`` (defaulting
+to :func:`time.perf_counter`) so budget arithmetic is testable without
+sleeping and so embedding harnesses can drive it from their own clock.
+
+On platforms without ``SIGALRM`` (Windows) the signal deadline degrades
+to a no-op; ``run_bounded``'s auto mechanism falls back to the thread
+deadline there too.
 """
 
 from __future__ import annotations
 
 import signal
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from ..core.protocol import TestExecutor, TestResult
 from ..core.tests_builder import TestSpec
@@ -35,6 +48,7 @@ __all__ = [
     "TimeBudget",
     "hard_deadline",
     "has_hard_deadline",
+    "run_with_thread_deadline",
 ]
 
 
@@ -54,12 +68,18 @@ class TimeBudget:
     :class:`BudgetedExecutor` checks between test circuits);
     ``hard_seconds`` is the external kill deadline.  ``None`` disables
     either bound.  The clock starts at :meth:`begin` (the arena harness
-    calls it immediately before ``diagnose``).
+    calls it immediately before ``diagnose``).  ``clock`` is any
+    monotonic zero-argument callable; injecting a fake makes budget
+    expiry deterministic in tests and lets embedding simulators charge
+    their own notion of time.
     """
 
     soft_seconds: float | None = None
     hard_seconds: float | None = None
     started_at: float | None = field(default=None, compare=False)
+    clock: Callable[[], float] = field(
+        default=time.perf_counter, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         for bound in (self.soft_seconds, self.hard_seconds):
@@ -74,14 +94,14 @@ class TimeBudget:
 
     def begin(self) -> "TimeBudget":
         """Start (or restart) the budget clock; returns self for chaining."""
-        self.started_at = time.perf_counter()
+        self.started_at = self.clock()
         return self
 
     def elapsed(self) -> float:
         """Seconds since :meth:`begin` (0.0 before the clock starts)."""
         if self.started_at is None:
             return 0.0
-        return time.perf_counter() - self.started_at
+        return self.clock() - self.started_at
 
     def soft_expired(self) -> bool:
         """True once the cooperative budget is spent."""
@@ -95,8 +115,19 @@ class TimeBudget:
 
 
 def has_hard_deadline() -> bool:
-    """Whether this platform can enforce hard deadlines (SIGALRM)."""
-    return hasattr(signal, "SIGALRM") and hasattr(signal, "setitimer")
+    """Whether the SIGALRM hard deadline can be armed *here*.
+
+    Requires both the platform capability (``SIGALRM`` + ``setitimer``)
+    and running on the main thread — POSIX delivers the alarm to the
+    main thread only, and ``signal.signal`` refuses to install handlers
+    anywhere else.  Off the main thread, use
+    :func:`run_with_thread_deadline` instead.
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
 
 
 @contextmanager
@@ -105,8 +136,9 @@ def hard_deadline(seconds: float | None):
 
     A ``SIGALRM`` interval timer (main-thread only, like the DXC
     harness); the previous handler and any pending timer are restored on
-    exit.  ``seconds`` of ``None`` — or a platform without ``SIGALRM`` —
-    yields without arming anything.
+    exit.  ``seconds`` of ``None`` — or a platform/thread where the
+    alarm cannot be armed (:func:`has_hard_deadline`) — yields without
+    arming anything, leaving only the cooperative soft budget.
     """
     if seconds is None or not has_hard_deadline():
         yield
@@ -124,6 +156,42 @@ def hard_deadline(seconds: float | None):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def run_with_thread_deadline(fn: Callable[[], Any], seconds: float | None) -> Any:
+    """Run ``fn()`` with a hard deadline enforced by a worker thread.
+
+    The signal-free fallback for non-main threads and platforms without
+    ``SIGALRM``: ``fn`` runs on a daemon worker which the caller joins
+    for at most ``seconds``.  On overrun a :class:`DiagnosisTimeout` is
+    raised in the *caller*; the stalled worker is abandoned (daemonized,
+    so it cannot block interpreter exit) rather than killed — Python
+    offers no safe cross-thread kill, which is why the SIGALRM path
+    stays the default where it is available.  Exceptions raised by
+    ``fn`` propagate; ``seconds`` of ``None`` joins unbounded.
+    """
+    if seconds is not None and seconds <= 0:
+        raise DiagnosisTimeout("hard deadline is already spent")
+    outcome: dict[str, Any] = {}
+
+    def _target() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # propagated to the caller below
+            outcome["error"] = exc
+
+    worker = threading.Thread(
+        target=_target, name="diagnosis-hard-deadline", daemon=True
+    )
+    worker.start()
+    worker.join(seconds)
+    if worker.is_alive():
+        raise DiagnosisTimeout(
+            f"diagnosis exceeded {seconds:.3f}s hard deadline (thread fallback)"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("value")
 
 
 @dataclass

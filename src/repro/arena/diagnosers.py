@@ -49,6 +49,8 @@ from .budget import (
     SoftBudgetExceeded,
     TimeBudget,
     hard_deadline,
+    has_hard_deadline,
+    run_with_thread_deadline,
 )
 
 __all__ = [
@@ -506,19 +508,48 @@ def default_diagnosers(ctx: DiagnoserContext) -> list:
 
 
 def run_bounded(
-    diagnoser, machine: MatchBackend, budget: TimeBudget
+    diagnoser,
+    machine: MatchBackend,
+    budget: TimeBudget,
+    mechanism: str = "auto",
 ) -> tuple[Diagnosis, float]:
     """Run one diagnosis under the budget's hard deadline.
 
-    Starts the budget clock, arms the ``SIGALRM`` hard deadline, and
-    converts a :class:`~repro.arena.budget.DiagnosisTimeout` kill into a
+    Starts the budget clock, enforces the hard deadline, and converts a
+    :class:`~repro.arena.budget.DiagnosisTimeout` kill into a
     ``timed_out`` :class:`Diagnosis` (zero claims) so the sweep scores
     the stall and continues.  Returns ``(diagnosis, wall_seconds)``.
+
+    ``mechanism`` selects how the deadline is enforced:
+
+    * ``"signal"`` — the ``SIGALRM`` interval timer (the default where
+      available; interrupts the diagnosis in place, main thread only);
+    * ``"thread"`` — :func:`~repro.arena.budget.run_with_thread_deadline`
+      (works on any thread/platform; a stalled diagnosis is abandoned on
+      a daemon worker instead of interrupted);
+    * ``"auto"`` — ``"signal"`` when it can be armed here
+      (:func:`~repro.arena.budget.has_hard_deadline`), else
+      ``"thread"`` — which is what lets the fleet simulator call
+      diagnosers from non-main threads.
     """
+    if mechanism not in ("auto", "signal", "thread"):
+        raise ValueError(
+            f"unknown deadline mechanism {mechanism!r}; "
+            "expected 'auto', 'signal' or 'thread'"
+        )
+    resolved = mechanism
+    if resolved == "auto":
+        resolved = "signal" if has_hard_deadline() else "thread"
     budget.begin()
     try:
-        with hard_deadline(budget.hard_seconds):
-            diagnosis = diagnoser.diagnose(machine, budget)
+        if resolved == "signal":
+            with hard_deadline(budget.hard_seconds):
+                diagnosis = diagnoser.diagnose(machine, budget)
+        else:
+            diagnosis = run_with_thread_deadline(
+                lambda: diagnoser.diagnose(machine, budget),
+                budget.hard_seconds,
+            )
     except DiagnosisTimeout:
         diagnosis = Diagnosis(
             diagnoser=getattr(diagnoser, "name", "unknown"),

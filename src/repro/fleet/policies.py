@@ -1,0 +1,361 @@
+"""Pluggable maintenance policies: when to test, and with what.
+
+Each policy decides the cadence of maintenance episodes and what one
+episode does to a trap.  The diagnosis policies reuse the arena's
+``diagnose(machine, budget)`` protocol verbatim — the *same* diagnoser
+objects the tournament ranks are what the fleet schedules — and their
+simulated duration is charged through the paper's
+:class:`~repro.trap.timing.TimingModel` (quantum seconds accrued by the
+machine plus the strategy's classical costs), scaled by an operational
+multiplier that absorbs the human-in-the-loop overhead Fig. 2's
+fractions include.
+
+The five policies:
+
+* ``periodic-recalibration`` — no diagnosis at all: every interval, take
+  the trap down and recalibrate all C(N,2) couplings (the expensive
+  full-coverage baseline the paper's economics argue against).
+* ``threshold-triggered`` — a cheap one-circuit canary probe at a short
+  interval; a failing probe triggers a full battery diagnosis.
+* ``battery`` — the paper's non-adaptive test battery every interval.
+* ``point-check`` — per-coupling point checks every interval (the
+  contemporary practice whose cost sets Fig. 2's testing slice).
+* ``adaptive-search`` — the binary-search diagnoser every interval.
+
+Episodes can *stall* (an injected fault of the harness, drawn from the
+policy stream): the episode is killed at its hard budget, charges the
+stall penalty in simulated time and claims nothing — the fault it would
+have found persists into the next cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+from ..arena.budget import TimeBudget
+from ..arena.diagnosers import (
+    Diagnosis,
+    DiagnoserContext,
+    build_diagnoser,
+    run_bounded,
+)
+from ..core.multi_fault import battery_specs
+from ..trap.timing import TimingModel
+from .traps import FleetTrap
+
+__all__ = [
+    "EpisodeOutcome",
+    "MaintenancePolicy",
+    "POLICY_NAMES",
+    "PolicyContext",
+    "build_policy",
+]
+
+Pair = frozenset[int]
+
+#: Every fleet policy, report order.
+POLICY_NAMES = (
+    "periodic-recalibration",
+    "threshold-triggered",
+    "battery",
+    "point-check",
+    "adaptive-search",
+)
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Shared per-simulation configuration every policy episode reads.
+
+    Attributes
+    ----------
+    ctx:
+        The arena :class:`~repro.arena.diagnosers.DiagnoserContext`
+        (thresholds, baselines, shots) diagnosis policies build their
+        sessions from; ``None`` is allowed when only non-diagnosing
+        policies run.
+    timing:
+        The paper's :class:`~repro.trap.timing.TimingModel`.
+    time_scale:
+        Multiplier from the timing model's idealized seconds to
+        operational simulated seconds (setup, queueing, operator time —
+        the overhead Fig. 2's wall-clock fractions include).
+    check_interval:
+        Seconds of serving time between maintenance episodes; shared by
+        every diagnosing policy *and* the periodic recalibration so the
+        uptime comparison happens at equal checking cadence (equal fault
+        coverage).
+    probe_interval:
+        The threshold-triggered policy's canary cadence.
+    detect_floor:
+        True-severity floor that makes a coupling a legitimate repair
+        target (claims below it are misdiagnoses).
+    stall_prob:
+        Per-episode probability that the diagnosis stalls and is killed
+        at its hard budget.
+    stall_seconds:
+        Simulated seconds charged for a stalled episode.
+    soft_seconds / hard_seconds:
+        Real wall-clock budgets protecting the *host* from a runaway
+        diagnoser (these are not simulation time).
+    recalibration_seconds_per_coupling:
+        Operational seconds to fully recalibrate one coupling during a
+        periodic-recalibration episode.
+    deadline_mechanism:
+        Forwarded to :func:`~repro.arena.diagnosers.run_bounded`
+        (``"auto"`` picks SIGALRM on the main thread, the thread
+        fallback elsewhere).
+    """
+
+    ctx: DiagnoserContext | None
+    timing: TimingModel
+    time_scale: float
+    check_interval: float
+    probe_interval: float
+    detect_floor: float
+    stall_prob: float
+    stall_seconds: float
+    soft_seconds: float | None
+    hard_seconds: float | None
+    recalibration_seconds_per_coupling: float
+    deadline_mechanism: str = "auto"
+
+
+@dataclass(frozen=True)
+class EpisodeOutcome:
+    """What one maintenance episode did, fully resolved at its start.
+
+    ``testing_seconds`` is the episode's simulated testing duration (the
+    coupling-tests duty-cycle bucket); repairs are planned and charged
+    separately by the simulator.  ``claimed`` is the diagnosis's accused
+    couplings (empty for probes that passed, stalls and periodic
+    recalibration).
+    """
+
+    testing_seconds: float
+    claimed: tuple[Pair, ...] = ()
+    alarm: bool = False
+    stalled: bool = False
+    timed_out: bool = False
+    adaptations: int = 0
+    tests_used: int = 0
+    shots: int = 0
+    full_recalibration: bool = False
+    probe_only: bool = False
+    #: Episode measured every coupling, so routine drift trimming from
+    #: those measurements rides along at no extra charge (faults are
+    #: untouched — only the slow calibration drift is zeroed).
+    trims_drift: bool = False
+
+
+class MaintenancePolicy:
+    """Base class: a named cadence plus an episode behavior."""
+
+    name = "policy"
+    #: Arena diagnoser this policy schedules (``None`` when none).
+    diagnoser_name: str | None = None
+    #: Whether the diagnoser measures every coupling each episode.  Full
+    #: coverage lets the episode trim accumulated drift for free (the
+    #: measurements already exist); sparse strategies (binary search)
+    #: only touch the couplings they visited.
+    full_coverage = False
+
+    def interval(self, pctx: PolicyContext) -> float:
+        """Seconds between maintenance episodes."""
+        return pctx.check_interval
+
+    def episode(
+        self, trap: FleetTrap, pctx: PolicyContext, rng: np.random.Generator
+    ) -> EpisodeOutcome:
+        """Run one maintenance episode against ``trap``'s machine."""
+        raise NotImplementedError
+
+    # -- shared diagnosis plumbing -------------------------------------------------
+
+    def _classical_seconds(
+        self, diagnosis: Diagnosis, pctx: PolicyContext, n_qubits: int
+    ) -> float:
+        """Strategy-specific classical time of one diagnosis session."""
+        timing = pctx.timing
+        n_pairs = comb(n_qubits, 2)
+        if self.diagnoser_name == "battery":
+            return timing.upload_time + diagnosis.adaptations * timing.adaptation_time(
+                min(n_pairs, n_qubits)
+            )
+        if self.diagnoser_name == "point-check":
+            return diagnosis.tests_used * timing.point_check_processing
+        return diagnosis.adaptations * timing.adaptation_time(
+            max(1, n_pairs // 2)
+        )
+
+    def _diagnose(
+        self, trap: FleetTrap, pctx: PolicyContext, rng: np.random.Generator
+    ) -> EpisodeOutcome:
+        """One full diagnosis episode (stall draw, run, time charging)."""
+        if pctx.ctx is None:
+            raise ValueError(
+                f"policy {self.name!r} needs a DiagnoserContext"
+            )
+        if rng.random() < pctx.stall_prob:
+            return EpisodeOutcome(
+                testing_seconds=pctx.stall_seconds, stalled=True, timed_out=True
+            )
+        trap.materialize()
+        quantum_before = trap.machine.stats.quantum_seconds
+        diagnoser = build_diagnoser(self.diagnoser_name, pctx.ctx)
+        budget = TimeBudget(pctx.soft_seconds, pctx.hard_seconds)
+        diagnosis, _wall = run_bounded(
+            diagnoser, trap.machine, budget, mechanism=pctx.deadline_mechanism
+        )
+        quantum = trap.machine.stats.quantum_seconds - quantum_before
+        model_seconds = quantum + self._classical_seconds(
+            diagnosis, pctx, trap.machine.n_qubits
+        )
+        claimed = tuple(
+            pair for pair in diagnosis.claimed if pair not in trap.quarantined
+        )
+        return EpisodeOutcome(
+            testing_seconds=pctx.time_scale * model_seconds,
+            claimed=claimed,
+            alarm=diagnosis.detected,
+            timed_out=diagnosis.timed_out,
+            adaptations=diagnosis.adaptations,
+            tests_used=diagnosis.tests_used,
+            shots=diagnosis.shots,
+            trims_drift=self.full_coverage and not diagnosis.timed_out,
+        )
+
+
+class PeriodicRecalibrationPolicy(MaintenancePolicy):
+    """Recalibrate everything on a fixed schedule, no diagnosis at all."""
+
+    name = "periodic-recalibration"
+    diagnoser_name = None
+
+    def episode(
+        self, trap: FleetTrap, pctx: PolicyContext, rng: np.random.Generator
+    ) -> EpisodeOutcome:
+        """Full-machine recalibration: every coupling, every time."""
+        n_pairs = comb(trap.machine.n_qubits, 2)
+        return EpisodeOutcome(
+            testing_seconds=n_pairs * pctx.recalibration_seconds_per_coupling,
+            full_recalibration=True,
+        )
+
+
+class ThresholdTriggeredPolicy(MaintenancePolicy):
+    """Cheap canary probes; a failing probe triggers a battery diagnosis."""
+
+    name = "threshold-triggered"
+    diagnoser_name = "battery"
+    full_coverage = True
+
+    def interval(self, pctx: PolicyContext) -> float:
+        """Probe at the (shorter) probe cadence."""
+        return pctx.probe_interval
+
+    def episode(
+        self, trap: FleetTrap, pctx: PolicyContext, rng: np.random.Generator
+    ) -> EpisodeOutcome:
+        """One canary circuit; escalate to a full diagnosis on failure.
+
+        The canary is a single battery test spec chosen at random from
+        the deepest battery — alternating probes cover the whole
+        coupling graph over time, but any one probe sees only part of
+        it, which is exactly the coverage gap this policy trades for
+        cheap checks.
+        """
+        if pctx.ctx is None:
+            raise ValueError(f"policy {self.name!r} needs a DiagnoserContext")
+        ctx = pctx.ctx
+        trap.materialize()
+        specs = battery_specs(trap.machine.n_qubits, ctx.deepest)
+        spec = specs[int(rng.integers(len(specs)))]
+        quantum_before = trap.machine.stats.quantum_seconds
+        executor = ctx.executor(trap.machine, TimeBudget().begin())
+        result = executor.execute(spec)
+        quantum = trap.machine.stats.quantum_seconds - quantum_before
+        probe_seconds = pctx.time_scale * quantum
+        if result.passed:
+            return EpisodeOutcome(
+                testing_seconds=probe_seconds, probe_only=True
+            )
+        escalation = self._diagnose(trap, pctx, rng)
+        return EpisodeOutcome(
+            testing_seconds=probe_seconds + escalation.testing_seconds,
+            claimed=escalation.claimed,
+            alarm=True,
+            stalled=escalation.stalled,
+            timed_out=escalation.timed_out,
+            adaptations=escalation.adaptations,
+            tests_used=escalation.tests_used + 1,
+            shots=escalation.shots + ctx.shots,
+            trims_drift=escalation.trims_drift,
+        )
+
+
+class BatteryPolicy(MaintenancePolicy):
+    """The paper's non-adaptive battery on the shared check cadence."""
+
+    name = "battery"
+    diagnoser_name = "battery"
+    full_coverage = True
+
+    def episode(
+        self, trap: FleetTrap, pctx: PolicyContext, rng: np.random.Generator
+    ) -> EpisodeOutcome:
+        """One battery diagnosis episode."""
+        return self._diagnose(trap, pctx, rng)
+
+
+class PointCheckPolicy(MaintenancePolicy):
+    """Per-coupling point checks — contemporary practice, Fig. 2's cost."""
+
+    name = "point-check"
+    diagnoser_name = "point-check"
+    full_coverage = True
+
+    def episode(
+        self, trap: FleetTrap, pctx: PolicyContext, rng: np.random.Generator
+    ) -> EpisodeOutcome:
+        """One all-couplings point-check episode."""
+        return self._diagnose(trap, pctx, rng)
+
+
+class AdaptiveSearchPolicy(MaintenancePolicy):
+    """The adaptive binary-search diagnoser on the shared cadence."""
+
+    name = "adaptive-search"
+    diagnoser_name = "binary-search"
+
+    def episode(
+        self, trap: FleetTrap, pctx: PolicyContext, rng: np.random.Generator
+    ) -> EpisodeOutcome:
+        """One adaptive-search diagnosis episode."""
+        return self._diagnose(trap, pctx, rng)
+
+
+_POLICY_REGISTRY = {
+    policy.name: policy
+    for policy in (
+        PeriodicRecalibrationPolicy,
+        ThresholdTriggeredPolicy,
+        BatteryPolicy,
+        PointCheckPolicy,
+        AdaptiveSearchPolicy,
+    )
+}
+
+
+def build_policy(name: str) -> MaintenancePolicy:
+    """Instantiate a registered maintenance policy by name."""
+    try:
+        cls = _POLICY_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}"
+        ) from None
+    return cls()

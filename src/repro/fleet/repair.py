@@ -1,0 +1,174 @@
+"""The failure path: repair planning with misdiagnosis, retries, quarantine.
+
+SNIPPETS.md Snippet 3's ``FaultSystem`` idiom, rebuilt deterministic:
+every repair command has a base duration, applying the *wrong* command
+costs an error-penalty multiple of it and leaves the real fault in
+place, and repairs themselves are fallible — each attempt fails with
+some probability and retries with exponential backoff.  A coupling the
+model cannot fix inside its per-episode repair budget (or within
+``max_attempts``) is **quarantined**: taken out of service so the trap
+can keep serving reduced-capacity jobs instead of going dark.
+
+Planning is separated from execution so the simulator can charge the
+whole episode's simulated duration up front: :func:`plan_repairs`
+consumes only the claim list, the true-fault set and a seeded generator,
+and returns a fully resolved action list the simulator then applies at
+the episode's end time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RepairAction", "RepairModel", "plan_repairs"]
+
+Pair = frozenset[int]
+
+
+@dataclass(frozen=True)
+class RepairModel:
+    """Stochastic repair economics of one maintenance episode.
+
+    Attributes
+    ----------
+    repair_seconds:
+        Operational duration of one (first-attempt) coupling
+        recalibration.
+    failure_prob:
+        Probability any single repair attempt fails outright.
+    backoff:
+        Duration multiplier per retry (attempt ``k`` costs
+        ``repair_seconds * backoff**k``).
+    max_attempts:
+        Attempts per coupling before giving up and quarantining it.
+    misdiagnosis_penalty:
+        Duration multiplier for repairing a coupling that was not
+        actually faulty — the wrong-repair error penalty of Snippet 3's
+        ``error_penalty_multiplier`` (the real fault persists).
+    budget_seconds:
+        Per-episode repair-time budget; couplings the plan cannot reach
+        before the budget is spent are quarantined instead of repaired.
+    """
+
+    repair_seconds: float = 45.0
+    failure_prob: float = 0.15
+    backoff: float = 2.0
+    max_attempts: int = 3
+    misdiagnosis_penalty: float = 2.0
+    budget_seconds: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.repair_seconds < 0 or self.budget_seconds < 0:
+            raise ValueError("durations must be non-negative")
+        if not 0.0 <= self.failure_prob < 1.0:
+            raise ValueError("failure_prob must be in [0, 1)")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.misdiagnosis_penalty < 1.0:
+            raise ValueError("misdiagnosis penalty must be >= 1")
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """The resolved outcome of servicing one claimed coupling.
+
+    Exactly one of the terminal flags describes the outcome:
+    ``succeeded`` (the coupling was recalibrated — vacuously for a wrong
+    target), or ``quarantined`` (retries or the episode budget ran out).
+    ``wrong_target`` marks a misdiagnosis: the claimed coupling was not
+    truly faulty, so the time was spent at the error penalty and no real
+    fault was cleared.
+    """
+
+    pair: Pair
+    attempts: int
+    seconds: float
+    succeeded: bool
+    wrong_target: bool
+    quarantined: bool
+
+    def __post_init__(self) -> None:
+        if self.succeeded and self.quarantined:
+            raise ValueError("an action cannot both succeed and quarantine")
+
+
+def plan_repairs(
+    model: RepairModel,
+    claimed: list[Pair],
+    truly_faulty: set[Pair],
+    rng: np.random.Generator,
+) -> list[RepairAction]:
+    """Resolve a diagnosis's claim list into repair outcomes.
+
+    Claims are serviced in claim order (the diagnoser's own confidence
+    order).  A claim outside ``truly_faulty`` is a misdiagnosis: one
+    attempt at ``misdiagnosis_penalty`` times the base duration,
+    "successful" but clearing nothing.  A true fault retries with
+    backoff until success, ``max_attempts`` exhaustion (quarantine) or
+    the episode budget running dry — in which case this and every
+    remaining claim is quarantined at zero additional cost (flipping a
+    coupling out of service is a software action).
+
+    Every attempt draws exactly one uniform from ``rng`` whether or not
+    its outcome matters, so the plan is a deterministic function of the
+    generator state and the claim list.
+    """
+    actions: list[RepairAction] = []
+    spent = 0.0
+    exhausted = False
+    for pair in claimed:
+        if exhausted:
+            actions.append(
+                RepairAction(
+                    pair=pair,
+                    attempts=0,
+                    seconds=0.0,
+                    succeeded=False,
+                    wrong_target=pair not in truly_faulty,
+                    quarantined=True,
+                )
+            )
+            continue
+        if pair not in truly_faulty:
+            seconds = model.repair_seconds * model.misdiagnosis_penalty
+            rng.random()  # burn the attempt draw: stream shape is outcome-free
+            spent += seconds
+            actions.append(
+                RepairAction(
+                    pair=pair,
+                    attempts=1,
+                    seconds=seconds,
+                    succeeded=True,
+                    wrong_target=True,
+                    quarantined=False,
+                )
+            )
+        else:
+            attempts = 0
+            seconds = 0.0
+            succeeded = False
+            while attempts < model.max_attempts:
+                duration = model.repair_seconds * model.backoff**attempts
+                attempts += 1
+                seconds += duration
+                if rng.random() >= model.failure_prob:
+                    succeeded = True
+                    break
+            spent += seconds
+            actions.append(
+                RepairAction(
+                    pair=pair,
+                    attempts=attempts,
+                    seconds=seconds,
+                    succeeded=succeeded,
+                    wrong_target=False,
+                    quarantined=not succeeded,
+                )
+            )
+        if spent >= model.budget_seconds:
+            exhausted = True
+    return actions

@@ -1,0 +1,429 @@
+"""The fleet-over-time simulation of one maintenance policy.
+
+One :func:`simulate_policy` call runs a small fleet of virtual traps
+through a simulated service window under a single policy: calibration
+drift advances on a fixed tick lattice, scenario faults arrive as a
+Poisson process, client jobs arrive and either run, corrupt (an
+undetected fault touched a coupling they used) or bounce (trap down,
+busy, or degraded), and the policy schedules maintenance episodes whose
+diagnoses run *real* test circuits against the trap's machine.
+
+Fairness across policies is by stream construction: the drift seeds and
+the fault/job generators depend only on ``(seed, trap index)`` — never
+on the policy — and every draw happens whether or not its outcome
+matters, so all policies face the bit-identical world and differ only in
+how they respond to it.  Policy-dependent randomness (stalls, repair
+outcomes, probe choice, machine shot noise) lives in separate streams.
+
+The failure path is the point: a misdiagnosed claim repairs the wrong
+coupling at a penalty while the real fault persists; repairs fail and
+retry with backoff; a coupling that exhausts its retries or the episode
+repair budget is quarantined and the trap keeps serving reduced-capacity
+jobs instead of going dark.  Every trap ends the window in a defined
+state — ``healthy``, ``under-repair`` (maintenance straddled the
+horizon) or ``quarantined-degraded``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..arena.diagnosers import DiagnoserContext
+from ..scenarios.spec import ScenarioSpec, build_scenario
+from ..trap.timing import TimingModel
+from .events import EventLoop
+from .policies import POLICY_NAMES, PolicyContext, build_policy
+from .repair import RepairModel, plan_repairs
+from .traps import FleetTrap, build_trap
+
+__all__ = ["derive_check_interval", "simulate_policy"]
+
+Pair = frozenset[int]
+
+
+def derive_check_interval(cfg, ctx: DiagnoserContext, timing: TimingModel) -> float:
+    """Serving seconds between checks that pin testing at Fig. 2's share.
+
+    Solves ``E / (E + interval) = F`` for the interval, where ``E`` is
+    the simulated duration of one all-couplings point-check episode (the
+    contemporary practice Fig. 2 costs at F = 25 % of wall-clock) — so
+    the *baseline* policy lands on the paper's duty-cycle breakdown and
+    every other policy, checking on the same cadence, is measured
+    against it at equal fault coverage.
+    """
+    episode = cfg.maintenance_time_scale * timing.point_check_total(
+        cfg.n_qubits, ctx.shots, ctx.deepest
+    )
+    fraction = cfg.testing_fraction_target
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("testing_fraction_target must be in (0, 1)")
+    return episode * (1.0 - fraction) / fraction
+
+
+def _relabeled_scenario(
+    kind: str, n_qubits: int, rng: np.random.Generator
+) -> ScenarioSpec:
+    """A taxonomy scenario under a random ion relabeling."""
+    perm = [int(q) for q in rng.permutation(n_qubits)]
+    return build_scenario(kind, n_qubits).relabel(perm)
+
+
+def simulate_policy(
+    cfg,
+    policy_name: str,
+    ctx: DiagnoserContext | None,
+    env_spec: ScenarioSpec,
+) -> dict[str, Any]:
+    """Run one policy over the whole fleet window; return its cell payload.
+
+    ``cfg`` is duck-typed (the fleet experiment's ``FleetConfig``
+    provides it); ``ctx`` is the arena diagnoser context shared by every
+    policy (``None`` is allowed only for policies that never diagnose,
+    with an explicit ``cfg.check_interval``); ``env_spec`` carries the
+    fault-free noise environment the trap machines run in.
+    """
+    if policy_name not in POLICY_NAMES:
+        raise ValueError(
+            f"unknown policy {policy_name!r}; known: {', '.join(POLICY_NAMES)}"
+        )
+    policy = build_policy(policy_name)
+    policy_index = POLICY_NAMES.index(policy_name)
+    timing = TimingModel()
+    horizon = float(cfg.horizon_seconds)
+    if horizon <= 0:
+        raise ValueError("horizon_seconds must be positive")
+
+    if cfg.check_interval is not None:
+        check_interval = float(cfg.check_interval)
+    else:
+        if ctx is None:
+            raise ValueError(
+                "check_interval must be explicit when no DiagnoserContext "
+                "is provided"
+            )
+        check_interval = derive_check_interval(cfg, ctx, timing)
+    pctx = PolicyContext(
+        ctx=ctx,
+        timing=timing,
+        time_scale=cfg.maintenance_time_scale,
+        check_interval=check_interval,
+        probe_interval=check_interval / cfg.probe_divisor,
+        detect_floor=cfg.detect_floor,
+        stall_prob=cfg.stall_prob,
+        stall_seconds=cfg.stall_penalty_seconds,
+        soft_seconds=cfg.soft_seconds,
+        hard_seconds=cfg.hard_seconds,
+        recalibration_seconds_per_coupling=cfg.recal_seconds_per_coupling,
+    )
+    repair_model = RepairModel(
+        repair_seconds=cfg.repair_seconds,
+        failure_prob=cfg.repair_failure_prob,
+        backoff=cfg.repair_backoff,
+        max_attempts=cfg.repair_max_attempts,
+        misdiagnosis_penalty=cfg.misdiagnosis_penalty,
+        budget_seconds=cfg.repair_budget_seconds,
+    )
+
+    loop = EventLoop()
+    traps: list[FleetTrap] = []
+    episode_seconds: dict[int, list[float]] = {}
+    for i in range(cfg.n_traps):
+        trap = build_trap(
+            index=i,
+            n_qubits=cfg.n_qubits,
+            noise=env_spec.noise_parameters(),
+            # Machine shot noise may fold the policy in (it is consumed at
+            # policy-dependent times anyway); drift must not.
+            machine_seed=cfg.seed + 977 * i + 10007 * policy_index + 13 * cfg.n_qubits,
+            drift_seed=cfg.seed + 31000 + 61 * i,
+            noise_realizations=cfg.noise_realizations,
+        )
+        traps.append(trap)
+        episode_seconds[i] = []
+
+    def clamp(start: float, seconds: float) -> float:
+        """The part of ``[start, start+seconds]`` inside the window."""
+        return max(0.0, min(start + seconds, horizon) - min(start, horizon))
+
+    def wire_trap(trap: FleetTrap) -> None:
+        """Attach one trap's event chains to the loop (own closures)."""
+        rng_faults = np.random.default_rng(
+            [cfg.seed, 101, trap.index]
+        )
+        rng_jobs = np.random.default_rng([cfg.seed, 211, trap.index])
+        rng_policy = np.random.default_rng(
+            [cfg.seed, 307, trap.index, policy_index]
+        )
+
+        def drift_tick() -> None:
+            trap.drift.evolve(cfg.drift_tick_seconds)
+            loop.schedule(cfg.drift_tick_seconds, drift_tick)
+
+        def fault_onset() -> None:
+            # Every draw happens before any outcome decision, so the
+            # fault stream is identical across policies.
+            kind = cfg.fault_kinds[int(rng_faults.integers(len(cfg.fault_kinds)))]
+            spec = _relabeled_scenario(kind, cfg.n_qubits, rng_faults)
+            delay = rng_faults.exponential(cfg.fault_interval)
+            for fault in spec.faults:
+                if fault.key in trap.quarantined:
+                    continue  # the coupling is out of service: nothing to damage
+                trap.inject_fault(
+                    fault.key, fault.magnitude_at(0), kind, loop.now
+                )
+            loop.schedule(delay, fault_onset)
+
+        def job_arrival() -> None:
+            k = min(cfg.job_couplings, len(trap.pairs))
+            chosen = rng_jobs.choice(len(trap.pairs), size=k, replace=False)
+            used = [trap.pairs[int(j)] for j in chosen]
+            delay = rng_jobs.exponential(cfg.job_interval)
+            now = loop.now
+            if trap.in_maintenance or now < trap.busy_until:
+                trap.jobs_rejected_downtime += 1
+            elif now < trap.job_until:
+                trap.jobs_rejected_busy += 1
+            elif any(p in trap.quarantined for p in used):
+                trap.jobs_rejected_degraded += 1
+            else:
+                trap.job_until = now + cfg.job_seconds
+                if any(
+                    trap.severity(p) >= cfg.corruption_floor for p in used
+                ):
+                    trap.jobs_corrupted += 1
+                else:
+                    trap.jobs_completed += 1
+            loop.schedule(delay, job_arrival)
+
+        def other_calibration() -> None:
+            # Single-qubit/motional upkeep — Fig. 2's third slice.  Runs
+            # after whatever currently occupies the trap.
+            start = max(loop.now, trap.busy_until)
+            trap.other_cal_seconds += clamp(start, cfg.other_cal_seconds)
+            trap.busy_until = max(trap.busy_until, start + cfg.other_cal_seconds)
+            loop.schedule(cfg.other_cal_interval, other_calibration)
+
+        def check() -> None:
+            start = max(loop.now, trap.busy_until, trap.job_until)
+            if start > loop.now:
+                loop.schedule_at(start, check)  # wait out the current work
+                return
+            trap.in_maintenance = True
+            outcome = policy.episode(trap, pctx, rng_policy)
+            if policy_name == "threshold-triggered":
+                trap.probes += 1
+            if not outcome.probe_only and not outcome.full_recalibration:
+                trap.diagnosis_episodes += 1
+                episode_seconds[trap.index].append(outcome.testing_seconds)
+            trap.alarms += int(outcome.alarm)
+            trap.stalls += int(outcome.stalled)
+            trap.timeouts += int(outcome.timed_out)
+            detectable = trap.truly_faulty(cfg.detect_floor)
+            for pair in outcome.claimed:
+                record = trap.active_faults.get(pair)
+                if (
+                    record is not None
+                    and record.active
+                    and record.detected_at is None
+                    and pair in detectable
+                ):
+                    record.detected_at = loop.now
+                    trap.detections += 1
+            # Repair grading uses the lower floor: recalibrating a
+            # moderately drifted coupling is useful work, not a wrong
+            # repair — only claims on near-nominal couplings pay the
+            # misdiagnosis penalty.
+            repairable = trap.truly_faulty(cfg.repair_floor)
+            actions = plan_repairs(
+                repair_model, list(outcome.claimed), repairable, rng_policy
+            )
+            trap.misdiagnoses += sum(
+                1 for a in actions if a.wrong_target and a.attempts
+            )
+            trap.repair_failures += sum(
+                a.attempts - int(a.succeeded)
+                for a in actions
+                if not a.wrong_target
+            )
+            repair_time = sum(a.seconds for a in actions)
+            bucket = (
+                "other_cal_seconds"
+                if outcome.full_recalibration
+                else "tests_seconds"
+            )
+            setattr(
+                trap,
+                bucket,
+                getattr(trap, bucket) + clamp(loop.now, outcome.testing_seconds),
+            )
+            trap.repair_seconds += clamp(
+                loop.now + outcome.testing_seconds, repair_time
+            )
+            end = loop.now + outcome.testing_seconds + repair_time
+            trap.busy_until = end
+
+            def complete() -> None:
+                if outcome.full_recalibration:
+                    trap.full_recalibration(loop.now)
+                else:
+                    for action in actions:
+                        if action.quarantined:
+                            trap.quarantine_pair(action.pair, loop.now)
+                        elif action.wrong_target:
+                            # A wrong-target "repair" still recalibrates
+                            # that coupling; the real fault persists.
+                            trap.drift.recalibrate(action.pair)
+                        else:
+                            trap.clear_pair(action.pair, loop.now, "repaired")
+                    if outcome.trims_drift:
+                        # The episode measured every coupling, so routine
+                        # drift trimming rides along for free; injected
+                        # faults are untouched.
+                        trap.drift.recalibrate()
+                trap.in_maintenance = False
+                # A stalled episode produced no diagnosis: retry at the
+                # probe cadence instead of leaving faults unwatched for
+                # a whole maintenance interval.
+                delay = (
+                    pctx.probe_interval
+                    if outcome.stalled
+                    else policy.interval(pctx)
+                )
+                loop.schedule(delay, check)
+
+            # If the episode straddles the horizon, `complete` never
+            # fires and the trap ends the window under-repair — a
+            # defined, reported state.
+            loop.schedule_at(end, complete)
+
+        loop.schedule(cfg.drift_tick_seconds, drift_tick)
+        loop.schedule(rng_faults.exponential(cfg.fault_interval), fault_onset)
+        loop.schedule(rng_jobs.exponential(cfg.job_interval), job_arrival)
+        loop.schedule(cfg.other_cal_interval, other_calibration)
+        loop.schedule(policy.interval(pctx), check)
+
+    for trap in traps:
+        wire_trap(trap)
+    loop.run_until(horizon)
+
+    trap_payloads = [_trap_payload(trap) for trap in traps]
+    return _cell_payload(
+        cfg, policy_name, check_interval, traps, trap_payloads, episode_seconds
+    )
+
+
+def _trap_payload(trap: FleetTrap) -> dict[str, Any]:
+    """One trap's end-of-window accounting, JSON-ready."""
+    undetected = sum(
+        1
+        for record in trap.active_faults.values()
+        if record.active and record.detected_at is None
+    )
+    resolutions = {"repaired": 0, "recalibrated": 0, "quarantined": 0, "active": 0}
+    for record in trap.fault_log:
+        resolutions[record.resolution or "active"] += 1
+    return {
+        "index": trap.index,
+        "final_state": trap.state,
+        "fault_resolutions": resolutions,
+        "quarantined": sorted(sorted(p) for p in trap.quarantined),
+        "active_faults": len(trap.active_faults),
+        "undetected_active_faults": undetected,
+        "faults_injected": trap.faults_injected,
+        "faults_repaired": trap.faults_repaired,
+        "faults_quarantined": trap.faults_quarantined,
+        "misdiagnoses": trap.misdiagnoses,
+        "repair_failures": trap.repair_failures,
+        "stalls": trap.stalls,
+        "timeouts": trap.timeouts,
+        "diagnosis_episodes": trap.diagnosis_episodes,
+        "probes": trap.probes,
+        "alarms": trap.alarms,
+        "detections": trap.detections,
+        "jobs": {
+            "completed": trap.jobs_completed,
+            "corrupted": trap.jobs_corrupted,
+            "rejected_downtime": trap.jobs_rejected_downtime,
+            "rejected_busy": trap.jobs_rejected_busy,
+            "rejected_degraded": trap.jobs_rejected_degraded,
+        },
+        "seconds": {
+            "coupling_tests": trap.tests_seconds,
+            "repair": trap.repair_seconds,
+            "other_calibration": trap.other_cal_seconds,
+        },
+        "mttr_seconds": (
+            float(np.mean(trap.repair_times)) if trap.repair_times else None
+        ),
+    }
+
+
+def _cell_payload(
+    cfg,
+    policy_name: str,
+    check_interval: float,
+    traps: list[FleetTrap],
+    trap_payloads: list[dict[str, Any]],
+    episode_seconds: dict[int, list[float]],
+) -> dict[str, Any]:
+    """Aggregate the fleet into one policy cell.
+
+    ``uptime`` is the fraction of the window the fleet was available for
+    jobs (1 − maintenance downtime); the duty-cycle breakdown maps onto
+    Fig. 2's three slices, with repair time folded into *other
+    calibration* (repairs are calibration work, not coupling tests).
+    """
+    horizon = float(cfg.horizon_seconds)
+    total = cfg.n_traps * horizon
+    tests = sum(t.tests_seconds for t in traps)
+    repair = sum(t.repair_seconds for t in traps)
+    other = sum(t.other_cal_seconds for t in traps)
+    good = sum(t.jobs_completed for t in traps)
+    corrupted = sum(t.jobs_corrupted for t in traps)
+    completed = good + corrupted
+    pooled_mttr = [s for t in traps for s in t.repair_times]
+    episodes = [s for series in episode_seconds.values() for s in series]
+    states = {state: 0 for state in ("healthy", "under-repair", "quarantined-degraded")}
+    for t in traps:
+        states[t.state] += 1
+    return {
+        "policy": policy_name,
+        "n_qubits": cfg.n_qubits,
+        "n_traps": cfg.n_traps,
+        "horizon_seconds": horizon,
+        "check_interval_seconds": check_interval,
+        "uptime": 1.0 - (tests + repair + other) / total,
+        "good_jobs_per_hour": good / (total / 3600.0),
+        "corrupted_job_rate": (corrupted / completed) if completed else 0.0,
+        "jobs_lost_to_undetected_faults": corrupted,
+        "mttr_seconds": (
+            float(np.mean(pooled_mttr)) if pooled_mttr else None
+        ),
+        "mean_diagnosis_seconds": (
+            float(np.mean(episodes)) if episodes else None
+        ),
+        "diagnosis_episodes": sum(t.diagnosis_episodes for t in traps),
+        "faults_injected": sum(t.faults_injected for t in traps),
+        "faults_repaired": sum(t.faults_repaired for t in traps),
+        "faults_quarantined": sum(t.faults_quarantined for t in traps),
+        "misdiagnoses": sum(t.misdiagnoses for t in traps),
+        "repair_failures": sum(t.repair_failures for t in traps),
+        "stalls": sum(t.stalls for t in traps),
+        "timeouts": sum(t.timeouts for t in traps),
+        "duty_cycle": {
+            "jobs": 1.0 - (tests + repair + other) / total,
+            "coupling_tests": tests / total,
+            "other_calibration": (repair + other) / total,
+        },
+        "jobs": {
+            "completed": good,
+            "corrupted": corrupted,
+            "rejected_downtime": sum(t.jobs_rejected_downtime for t in traps),
+            "rejected_busy": sum(t.jobs_rejected_busy for t in traps),
+            "rejected_degraded": sum(t.jobs_rejected_degraded for t in traps),
+        },
+        "final_states": states,
+        "traps": trap_payloads,
+    }

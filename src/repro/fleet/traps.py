@@ -1,0 +1,265 @@
+"""Per-trap state for the fleet simulator: drift + faults + quarantine.
+
+Each simulated trap owns a real :class:`~repro.trap.machine.VirtualIonTrap`
+(diagnosis episodes run actual test circuits against it), a
+:class:`~repro.noise.drift.CalibrationDriftProcess` advanced on a fixed
+tick lattice, and a ledger of injected scenario faults.  The trap's
+*true* miscalibration of a coupling is the sum of its drift component
+and any active injected fault; :meth:`FleetTrap.materialize` writes that
+truth into the machine's calibration state right before a diagnosis or
+probe touches it — with quarantined couplings masked to zero, because a
+quarantined coupling is out of service: jobs route around it and tests
+do not drive it.
+
+States are exactly the report's defined set: ``healthy``,
+``under-repair`` (a maintenance episode is in progress) and
+``quarantined-degraded`` (serving jobs with at least one coupling out of
+service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..noise.drift import CalibrationDriftProcess, DriftParameters
+from ..trap.calibration import all_pairs
+from ..trap.machine import VirtualIonTrap
+
+__all__ = ["FaultRecord", "FleetTrap", "TRAP_STATES", "build_trap"]
+
+Pair = frozenset[int]
+
+#: The defined trap states recorded in the fleet report.
+TRAP_STATES = ("healthy", "under-repair", "quarantined-degraded")
+
+#: Under-rotations are clipped here before entering the calibration state
+#: (drift plus an injected fault can exceed the physical [-1, 1] range).
+_CLIP = 0.95
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault's lifecycle, onset to resolution.
+
+    ``resolution`` is ``None`` while the fault is active, else one of
+    ``"repaired"`` (a policy repair cleared it), ``"recalibrated"`` (a
+    periodic full recalibration swept it away), or ``"quarantined"``
+    (its coupling was taken out of service with the fault still in it).
+    """
+
+    pair: Pair
+    onset: float
+    magnitude: float
+    kind: str
+    detected_at: float | None = None
+    cleared_at: float | None = None
+    resolution: str | None = None
+
+    @property
+    def active(self) -> bool:
+        """True while the fault is neither cleared nor quarantined."""
+        return self.resolution is None
+
+
+@dataclass
+class FleetTrap:
+    """One virtual trap's full simulation state.
+
+    Parameters
+    ----------
+    index:
+        Trap id inside the fleet (also seeds its streams).
+    machine:
+        The real simulated backend diagnosis episodes execute against.
+    drift:
+        The trap's calibration-drift process (its own seeded stream).
+    """
+
+    index: int
+    machine: VirtualIonTrap
+    drift: CalibrationDriftProcess
+
+    #: Injected faults by coupling (latest record per pair).
+    active_faults: dict[Pair, FaultRecord] = field(default_factory=dict)
+    #: Couplings taken out of service (graceful degradation).
+    quarantined: set[Pair] = field(default_factory=set)
+    #: History of every fault record, for end-of-run accounting.
+    fault_log: list[FaultRecord] = field(default_factory=list)
+
+    #: Simulation-time bookkeeping (the simulator writes these).
+    busy_until: float = 0.0
+    job_until: float = 0.0
+    in_maintenance: bool = False
+    tests_seconds: float = 0.0
+    repair_seconds: float = 0.0
+    other_cal_seconds: float = 0.0
+
+    #: Job counters.
+    jobs_completed: int = 0
+    jobs_corrupted: int = 0
+    jobs_rejected_downtime: int = 0
+    jobs_rejected_busy: int = 0
+    jobs_rejected_degraded: int = 0
+
+    #: Maintenance counters.
+    faults_injected: int = 0
+    faults_repaired: int = 0
+    faults_quarantined: int = 0
+    misdiagnoses: int = 0
+    repair_failures: int = 0
+    stalls: int = 0
+    timeouts: int = 0
+    diagnosis_episodes: int = 0
+    probes: int = 0
+    alarms: int = 0
+    detections: int = 0
+    #: Onset-to-clear seconds of every resolved fault (MTTR numerator).
+    repair_times: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.pairs: list[Pair] = all_pairs(self.machine.n_qubits)
+        self._drift_index = {p: i for i, p in enumerate(self.drift.pairs)}
+
+    # -- truth -------------------------------------------------------------------
+
+    def drift_component(self, pair: Pair) -> float:
+        """The drift process's current under-rotation of one coupling."""
+        return float(self.drift.under_rotation[self._drift_index[pair]])
+
+    def severity(self, pair: Pair) -> float:
+        """|drift + injected fault| — the coupling's true miscalibration."""
+        record = self.active_faults.get(pair)
+        fault = record.magnitude if record is not None and record.active else 0.0
+        return abs(self.drift_component(pair) + fault)
+
+    def truly_faulty(self, floor: float) -> set[Pair]:
+        """In-service couplings whose true miscalibration reaches ``floor``."""
+        return {
+            p
+            for p in self.pairs
+            if p not in self.quarantined and self.severity(p) >= floor
+        }
+
+    def materialize(self) -> None:
+        """Write the true calibration state into the machine.
+
+        Quarantined couplings are masked to a perfect calibration: they
+        are out of service, so neither jobs nor test circuits drive
+        them — which is exactly what stops a diagnoser from re-claiming
+        a coupling the operator already gave up on.
+        """
+        calibration = self.machine.calibration
+        for pair in self.pairs:
+            if pair in self.quarantined:
+                calibration.set_under_rotation(pair, 0.0)
+                calibration.set_phase_offset(pair, 0.0)
+                continue
+            record = self.active_faults.get(pair)
+            fault = record.magnitude if record is not None and record.active else 0.0
+            total = self.drift_component(pair) + fault
+            calibration.set_under_rotation(
+                pair, float(np.clip(total, -_CLIP, _CLIP))
+            )
+
+    # -- fault lifecycle -----------------------------------------------------------
+
+    def inject_fault(
+        self, pair: Pair, magnitude: float, kind: str, now: float
+    ) -> None:
+        """Install (or worsen) an injected fault on one coupling.
+
+        A second onset on an already-faulty coupling keeps the earlier
+        onset time (MTTR measures from first damage) and the larger
+        magnitude.
+        """
+        existing = self.active_faults.get(pair)
+        if existing is not None and existing.active:
+            if abs(magnitude) > abs(existing.magnitude):
+                existing.magnitude = magnitude
+            return
+        record = FaultRecord(pair=pair, onset=now, magnitude=magnitude, kind=kind)
+        self.active_faults[pair] = record
+        self.fault_log.append(record)
+        self.faults_injected += 1
+
+    def clear_pair(self, pair: Pair, now: float, resolution: str) -> None:
+        """Recalibrate one coupling: zero its drift, resolve its fault."""
+        self.drift.recalibrate(pair)
+        record = self.active_faults.get(pair)
+        if record is not None and record.active:
+            record.cleared_at = now
+            record.resolution = resolution
+            self.repair_times.append(now - record.onset)
+            self.faults_repaired += 1
+            del self.active_faults[pair]
+
+    def quarantine_pair(self, pair: Pair, now: float) -> None:
+        """Take one coupling out of service (fault, if any, stays in it)."""
+        if pair in self.quarantined:
+            return
+        self.quarantined.add(pair)
+        record = self.active_faults.get(pair)
+        if record is not None and record.active:
+            record.resolution = "quarantined"
+            del self.active_faults[pair]
+        self.faults_quarantined += 1
+
+    def full_recalibration(self, now: float) -> None:
+        """Periodic-recalibration effect: everything back to nominal.
+
+        Drift zeroes everywhere, every active fault resolves as
+        ``recalibrated`` (counted into MTTR — the fault *was* fixed,
+        just by brute force), and quarantined couplings return to
+        service.
+        """
+        self.drift.recalibrate(None)
+        for pair in list(self.active_faults):
+            record = self.active_faults.pop(pair)
+            record.cleared_at = now
+            record.resolution = "recalibrated"
+            self.repair_times.append(now - record.onset)
+            self.faults_repaired += 1
+        self.quarantined.clear()
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """The trap's current defined state."""
+        if self.in_maintenance:
+            return "under-repair"
+        if self.quarantined:
+            return "quarantined-degraded"
+        return "healthy"
+
+
+def build_trap(
+    index: int,
+    n_qubits: int,
+    noise,
+    machine_seed: int,
+    drift_seed: int,
+    noise_realizations: int,
+    drift_params: DriftParameters | None = None,
+) -> FleetTrap:
+    """Assemble one trap with independently seeded machine/drift streams.
+
+    The drift stream's seed is independent of the policy under test, so
+    every policy faces the identical drifting world (arena-style
+    fairness); the machine seed may fold the policy in, since diagnosis
+    shot noise is consumed at policy-dependent times anyway.
+    """
+    machine = VirtualIonTrap(
+        n_qubits,
+        noise=noise,
+        seed=machine_seed,
+        noise_realizations=noise_realizations,
+    )
+    drift = CalibrationDriftProcess(
+        all_pairs(n_qubits),
+        rng=np.random.default_rng(drift_seed),
+        params=drift_params,
+    )
+    return FleetTrap(index=index, machine=machine, drift=drift)

@@ -61,18 +61,25 @@ class CalibrationDriftProcess:
     params:
         Volatility mixture.
     rng:
-        Random generator (also assigns each coupling its volatility).
+        Random generator, or a seed to build one from.  The process owns
+        the stream: volatility assignment draws from it at construction
+        (in ``pairs`` order, so the fast-drifter set is a deterministic
+        function of the generator state) and every :meth:`evolve` call
+        draws one normal vector from it — two processes fed identically
+        seeded generators stay bit-identical forever.
     """
 
     def __init__(
         self,
         pairs: list[Pair],
-        rng: np.random.Generator,
+        rng: np.random.Generator | int | None = None,
         params: DriftParameters | None = None,
     ):
         if not pairs:
             raise ValueError("need at least one coupling")
         self.params = params or DriftParameters()
+        if rng is None or isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng)
         self.rng = rng
         self.pairs = list(pairs)
         fast = rng.random(len(self.pairs)) < self.params.fast_fraction

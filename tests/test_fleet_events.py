@@ -1,0 +1,111 @@
+"""Event-loop tests: ordering, tie-breaks, horizon semantics, guards.
+
+The fleet simulator's determinism rests on the loop contract pinned
+here: events fire in time order with insertion order breaking ties,
+``run_until`` never runs past its horizon but always advances the clock
+to it, and scheduling into the past (or at a non-finite time) is an
+error rather than a silent clock rewind.
+"""
+
+import math
+
+import pytest
+
+from repro.fleet.events import EventLoop
+
+
+class TestOrdering:
+    """Pop order is (time, insertion sequence)."""
+
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append("c"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(2.0, lambda: fired.append("b"))
+        assert loop.run_until(10.0) == 3
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in ("first", "second", "third"):
+            loop.schedule(5.0, lambda n=name: fired.append(n))
+        loop.run_until(5.0)
+        assert fired == ["first", "second", "third"]
+
+    def test_callbacks_can_cascade_within_horizon(self):
+        loop = EventLoop()
+        fired = []
+
+        def outer():
+            fired.append(("outer", loop.now))
+            loop.schedule(1.0, lambda: fired.append(("inner", loop.now)))
+
+        loop.schedule(2.0, outer)
+        assert loop.run_until(4.0) == 2
+        assert fired == [("outer", 2.0), ("inner", 3.0)]
+
+    def test_now_advances_to_event_times(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.5, lambda: seen.append(loop.now))
+        loop.schedule(2.5, lambda: seen.append(loop.now))
+        loop.run_until(3.0)
+        assert seen == [1.5, 2.5]
+
+
+class TestHorizon:
+    """run_until pops only events at or before the horizon."""
+
+    def test_later_events_stay_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("in"))
+        loop.schedule(9.0, lambda: fired.append("out"))
+        assert loop.run_until(5.0) == 1
+        assert fired == ["in"]
+        assert len(loop) == 1
+
+    def test_clock_reaches_horizon_even_when_queue_drains(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run_until(7.0)
+        assert loop.now == 7.0
+
+    def test_boundary_event_fires(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda: fired.append("edge"))
+        loop.run_until(5.0)
+        assert fired == ["edge"]
+
+    def test_horizon_before_now_raises(self):
+        loop = EventLoop()
+        loop.run_until(4.0)
+        with pytest.raises(ValueError, match="horizon precedes"):
+            loop.run_until(3.0)
+
+
+class TestScheduleGuards:
+    """The clock never rewinds; event times must be finite."""
+
+    def test_scheduling_into_the_past_raises(self):
+        loop = EventLoop()
+        loop.run_until(10.0)
+        with pytest.raises(ValueError, match="past"):
+            loop.schedule_at(9.0, lambda: None)
+
+    @pytest.mark.parametrize("when", [math.inf, -math.inf, math.nan])
+    def test_non_finite_times_raise(self, when):
+        loop = EventLoop()
+        with pytest.raises(ValueError, match="finite"):
+            loop.schedule_at(when, lambda: None)
+
+    def test_schedule_is_relative_to_now(self):
+        loop = EventLoop()
+        loop.run_until(10.0)
+        seen = []
+        loop.schedule(2.0, lambda: seen.append(loop.now))
+        loop.run_until(20.0)
+        assert seen == [12.0]

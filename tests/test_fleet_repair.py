@@ -1,0 +1,156 @@
+"""Repair-planning tests: misdiagnosis penalty, backoff, quarantine.
+
+:func:`repro.fleet.repair.plan_repairs` is the fleet's entire failure
+path in one pure function, so these tests pin its semantics exactly:
+wrong targets pay the error penalty and clear nothing, true faults
+retry with exponential backoff, exhausted retries and a spent episode
+budget both end in quarantine, and the whole plan is a deterministic
+function of the generator state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet.repair import RepairModel, plan_repairs
+
+P01 = frozenset({0, 1})
+P12 = frozenset({1, 2})
+P23 = frozenset({2, 3})
+
+
+class _ScriptedRng:
+    """Duck-typed generator yielding a fixed uniform sequence."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def random(self):
+        return self._values.pop(0)
+
+
+def _model(**overrides):
+    defaults = dict(
+        repair_seconds=10.0,
+        failure_prob=0.5,
+        backoff=2.0,
+        max_attempts=3,
+        misdiagnosis_penalty=2.0,
+        budget_seconds=1000.0,
+    )
+    defaults.update(overrides)
+    return RepairModel(**defaults)
+
+
+class TestMisdiagnosis:
+    """Claims outside the true-fault set: penalty time, nothing cleared."""
+
+    def test_wrong_target_costs_penalty_and_clears_nothing(self):
+        actions = plan_repairs(_model(), [P01], set(), _ScriptedRng([0.9]))
+        (action,) = actions
+        assert action.wrong_target
+        assert action.succeeded  # vacuously: the wrong coupling was retuned
+        assert not action.quarantined
+        assert action.attempts == 1
+        assert action.seconds == 10.0 * 2.0
+
+    def test_wrong_target_burns_exactly_one_draw(self):
+        # A draw below failure_prob fails the attempt.  If the
+        # misdiagnosis consumed no draw, P12 would see 0.1 first (a
+        # failure) and need two attempts; the burned draw means P12
+        # sees 0.9 and succeeds immediately.
+        rng = _ScriptedRng([0.1, 0.9])
+        actions = plan_repairs(_model(), [P01, P12], {P12}, rng)
+        assert actions[0].wrong_target
+        assert actions[1].attempts == 1 and actions[1].succeeded
+
+
+class TestRetries:
+    """True faults retry with exponential backoff."""
+
+    def test_first_attempt_success(self):
+        actions = plan_repairs(_model(), [P01], {P01}, _ScriptedRng([0.9]))
+        (action,) = actions
+        assert action.succeeded and not action.wrong_target
+        assert action.attempts == 1
+        assert action.seconds == 10.0
+
+    def test_backoff_doubles_each_retry(self):
+        # Fail (0.1), fail (0.1), succeed (0.9): 10 + 20 + 40 seconds.
+        actions = plan_repairs(
+            _model(), [P01], {P01}, _ScriptedRng([0.1, 0.1, 0.9])
+        )
+        (action,) = actions
+        assert action.succeeded
+        assert action.attempts == 3
+        assert action.seconds == 10.0 + 20.0 + 40.0
+
+    def test_exhausted_retries_quarantine(self):
+        actions = plan_repairs(
+            _model(), [P01], {P01}, _ScriptedRng([0.1, 0.1, 0.1])
+        )
+        (action,) = actions
+        assert action.quarantined and not action.succeeded
+        assert action.attempts == 3
+        assert action.seconds == 70.0
+
+
+class TestBudget:
+    """A spent episode budget quarantines every remaining claim for free."""
+
+    def test_remaining_claims_quarantined_at_zero_cost(self):
+        model = _model(budget_seconds=10.0, failure_prob=0.0)
+        actions = plan_repairs(
+            model, [P01, P12, P23], {P01, P12}, _ScriptedRng([0.9, 0.9, 0.9])
+        )
+        assert actions[0].succeeded and actions[0].seconds == 10.0
+        for late in actions[1:]:
+            assert late.quarantined
+            assert late.attempts == 0
+            assert late.seconds == 0.0
+        # wrong_target is still graded on the skipped claims
+        assert not actions[1].wrong_target
+        assert actions[2].wrong_target
+
+    def test_budget_counts_misdiagnosis_time(self):
+        model = _model(budget_seconds=15.0)
+        actions = plan_repairs(
+            model, [P01, P12], {P12}, _ScriptedRng([0.5, 0.5])
+        )
+        assert actions[0].wrong_target and actions[0].seconds == 20.0
+        assert actions[1].quarantined and actions[1].seconds == 0.0
+
+
+class TestDeterminism:
+    """Identical generator state -> identical plans."""
+
+    def test_same_seed_same_plan(self):
+        claimed = [P01, P12, P23]
+        truly = {P01, P23}
+        plans = [
+            plan_repairs(_model(), claimed, truly, np.random.default_rng(42))
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+
+    def test_empty_claims_empty_plan(self):
+        assert plan_repairs(_model(), [], {P01}, np.random.default_rng(0)) == []
+
+
+class TestModelValidation:
+    """RepairModel rejects nonsense economics."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"repair_seconds": -1.0},
+            {"budget_seconds": -1.0},
+            {"failure_prob": 1.0},
+            {"failure_prob": -0.1},
+            {"backoff": 0.5},
+            {"max_attempts": 0},
+            {"misdiagnosis_penalty": 0.9},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            _model(**kwargs)

@@ -1,0 +1,175 @@
+"""Fleet-trap and simulator unit tests (tier-1: fast, deterministic).
+
+The full policy tournament is tier-2 (``-m fleet``); this file pins the
+pieces cheap enough for every run: the trap's truth model (drift + fault
++ quarantine masking), the fault-lifecycle ledger the report's
+``faults_accounted`` check audits, and one diagnosis-free
+``simulate_policy`` window (periodic recalibration with an explicit
+check interval needs no calibrated diagnoser context) whose counters,
+seconds and final states must be internally consistent and reproducible.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.experiments.fleet import FleetConfig, _environment_spec
+from repro.fleet.simulator import simulate_policy
+from repro.fleet.traps import TRAP_STATES, build_trap
+from repro.noise.models import NoiseParameters
+
+P01 = frozenset({0, 1})
+P12 = frozenset({1, 2})
+
+
+def _trap(n_qubits=4, index=0):
+    return build_trap(
+        index=index,
+        n_qubits=n_qubits,
+        noise=NoiseParameters(amplitude_sigma=0.0),
+        machine_seed=100 + index,
+        drift_seed=200 + index,
+        noise_realizations=2,
+    )
+
+
+class TestTrapTruth:
+    """Severity = |drift + fault|, with quarantine masking."""
+
+    def test_injected_fault_raises_severity(self):
+        trap = _trap()
+        assert trap.severity(P01) == 0.0
+        trap.inject_fault(P01, 0.3, "static-under-rotation", now=10.0)
+        assert trap.severity(P01) == pytest.approx(0.3)
+        assert trap.truly_faulty(0.2) == {P01}
+
+    def test_reinjection_keeps_onset_and_worst_magnitude(self):
+        trap = _trap()
+        trap.inject_fault(P01, 0.2, "static-under-rotation", now=10.0)
+        trap.inject_fault(P01, 0.4, "over-rotation", now=50.0)
+        record = trap.active_faults[P01]
+        assert record.onset == 10.0
+        assert record.magnitude == 0.4
+        assert trap.faults_injected == 1  # one ledger entry, worsened
+
+    def test_quarantined_pairs_leave_truly_faulty(self):
+        trap = _trap()
+        trap.inject_fault(P01, 0.5, "static-under-rotation", now=0.0)
+        trap.quarantine_pair(P01, now=5.0)
+        assert trap.truly_faulty(0.1) == set()
+        assert trap.state == "quarantined-degraded"
+
+    def test_materialize_masks_quarantined_couplings(self):
+        trap = _trap()
+        trap.inject_fault(P01, 0.5, "static-under-rotation", now=0.0)
+        trap.inject_fault(P12, 0.4, "static-under-rotation", now=0.0)
+        trap.quarantine_pair(P01, now=1.0)
+        trap.materialize()
+        calibration = trap.machine.calibration
+        assert calibration.under_rotation(P01) == 0.0
+        assert calibration.under_rotation(P12) == pytest.approx(0.4)
+
+
+class TestFaultLedger:
+    """Every injected fault ends with exactly one resolution."""
+
+    def test_repair_resolves_and_records_mttr(self):
+        trap = _trap()
+        trap.inject_fault(P01, 0.3, "static-under-rotation", now=100.0)
+        trap.clear_pair(P01, now=400.0, resolution="repaired")
+        (record,) = trap.fault_log
+        assert record.resolution == "repaired"
+        assert not record.active
+        assert trap.repair_times == [300.0]
+        assert trap.faults_repaired == 1
+
+    def test_quarantine_resolves_without_mttr(self):
+        trap = _trap()
+        trap.inject_fault(P01, 0.3, "static-under-rotation", now=0.0)
+        trap.quarantine_pair(P01, now=50.0)
+        assert trap.fault_log[0].resolution == "quarantined"
+        assert trap.repair_times == []
+        assert trap.faults_quarantined == 1
+
+    def test_full_recalibration_sweeps_everything(self):
+        trap = _trap()
+        trap.inject_fault(P01, 0.3, "a", now=0.0)
+        trap.inject_fault(P12, 0.2, "b", now=10.0)
+        trap.quarantine_pair(P01, now=20.0)
+        trap.full_recalibration(now=100.0)
+        assert trap.quarantined == set()
+        assert trap.active_faults == {}
+        resolutions = sorted(r.resolution for r in trap.fault_log)
+        assert resolutions == ["quarantined", "recalibrated"]
+        assert trap.state == "healthy"
+
+    def test_ledger_balances_like_the_report_check(self):
+        trap = _trap()
+        trap.inject_fault(P01, 0.3, "a", now=0.0)
+        trap.inject_fault(P12, 0.2, "b", now=0.0)
+        trap.clear_pair(P01, now=10.0, resolution="repaired")
+        counts = {"repaired": 0, "recalibrated": 0, "quarantined": 0, "active": 0}
+        for record in trap.fault_log:
+            counts[record.resolution or "active"] += 1
+        assert sum(counts.values()) == trap.faults_injected
+
+
+class TestSimulatePolicyWindow:
+    """One diagnosis-free window: consistent, bounded, reproducible."""
+
+    CFG = None  # built lazily so config validation errors surface in tests
+
+    @classmethod
+    def _cfg(cls):
+        if cls.CFG is None:
+            cls.CFG = FleetConfig(
+                n_qubits=4,
+                n_traps=2,
+                horizon_seconds=7200.0,
+                check_interval=900.0,
+                fault_interval=1200.0,
+                job_interval=90.0,
+                seed=5,
+            )
+        return cls.CFG
+
+    def _cell(self):
+        cfg = self._cfg()
+        return simulate_policy(
+            cfg, "periodic-recalibration", ctx=None, env_spec=_environment_spec(cfg)
+        )
+
+    def test_cell_shape_and_bounds(self):
+        cell = self._cell()
+        assert cell["policy"] == "periodic-recalibration"
+        assert cell["n_traps"] == 2
+        assert 0.0 <= cell["uptime"] <= 1.0
+        duty = cell["duty_cycle"]
+        assert sum(duty.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in duty.values())
+        # Periodic recalibration never diagnoses: its testing time lands
+        # in the other-calibration bucket and no episode is counted.
+        assert duty["coupling_tests"] == 0.0
+        assert cell["diagnosis_episodes"] == 0
+        assert cell["mean_diagnosis_seconds"] is None
+
+    def test_every_trap_ends_in_a_defined_state(self):
+        cell = self._cell()
+        for trap in cell["traps"]:
+            assert trap["final_state"] in TRAP_STATES
+            assert sum(trap["fault_resolutions"].values()) == trap["faults_injected"]
+
+    def test_same_seed_is_reproducible(self):
+        assert self._cell() == self._cell()
+
+    def test_different_seeds_differ(self):
+        cfg = dataclasses.replace(self._cfg(), seed=6)
+        other = simulate_policy(
+            cfg, "periodic-recalibration", ctx=None, env_spec=_environment_spec(cfg)
+        )
+        assert other != self._cell()
+
+    def test_unknown_policy_rejected(self):
+        cfg = self._cfg()
+        with pytest.raises(ValueError, match="unknown policy"):
+            simulate_policy(cfg, "crystal-ball", ctx=None, env_spec=_environment_spec(cfg))

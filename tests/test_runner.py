@@ -13,6 +13,7 @@ EXPECTED_EXPERIMENTS = {
     "arena",
     "fig2",
     "fig3",
+    "fleet",
     "fig6",
     "fig7",
     "fig8",

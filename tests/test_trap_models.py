@@ -1,0 +1,111 @@
+"""Trap-economics tests: duty-cycle algebra and the Sec. IX timing check.
+
+Two models anchor the fleet simulator's bookkeeping to the paper:
+
+* :class:`~repro.trap.duty_cycle.DutyCycleBreakdown` — Fig. 2's
+  wall-clock split (53 % jobs / 25 % coupling tests / 22 % other
+  calibration) and the renormalization that projects uptime when
+  coupling tests get faster.
+* :class:`~repro.trap.timing.TimingModel` — the Sec. IX cross-check: a
+  full 11-qubit non-adaptive diagnosis lands around ten seconds while
+  per-coupling point checks take over a minute.
+"""
+
+import pytest
+
+from repro.trap.duty_cycle import DutyCycleBreakdown, improved_duty_cycle
+from repro.trap.timing import TimingModel
+
+
+class TestDutyCycleBreakdown:
+    """Fractions must sum to one and sit in [0, 1]."""
+
+    def test_paper_defaults_are_valid(self):
+        breakdown = DutyCycleBreakdown()
+        assert breakdown.jobs == 0.53
+        assert breakdown.overhead == pytest.approx(0.47)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            DutyCycleBreakdown(jobs=0.5, coupling_tests=0.2, other_calibration=0.2)
+
+    def test_fractions_must_be_in_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            DutyCycleBreakdown(
+                jobs=1.2, coupling_tests=-0.1, other_calibration=-0.1
+            )
+
+
+class TestImprovedDutyCycle:
+    """The uptime projection behind the Fig. 2 headline."""
+
+    def test_speedup_below_one_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            improved_duty_cycle(DutyCycleBreakdown(), 0.5)
+
+    def test_unit_speedup_is_identity(self):
+        baseline = DutyCycleBreakdown()
+        same = improved_duty_cycle(baseline, 1.0)
+        assert same.jobs == pytest.approx(baseline.jobs)
+        assert same.coupling_tests == pytest.approx(baseline.coupling_tests)
+
+    def test_jobs_fraction_grows_monotonically_with_speedup(self):
+        baseline = DutyCycleBreakdown()
+        jobs = [
+            improved_duty_cycle(baseline, s).jobs for s in (1.0, 2.0, 6.0, 20.0)
+        ]
+        assert jobs == sorted(jobs)
+        tests = [
+            improved_duty_cycle(baseline, s).coupling_tests
+            for s in (1.0, 2.0, 6.0, 20.0)
+        ]
+        assert tests == sorted(tests, reverse=True)
+
+    def test_projection_still_sums_to_one(self):
+        improved = improved_duty_cycle(DutyCycleBreakdown(), 6.0)
+        total = improved.jobs + improved.coupling_tests + improved.other_calibration
+        assert total == pytest.approx(1.0)
+
+    def test_infinite_speedup_limit(self):
+        """Killing coupling tests entirely caps jobs at jobs/(jobs+other)."""
+        baseline = DutyCycleBreakdown()
+        improved = improved_duty_cycle(baseline, 1e9)
+        assert improved.jobs == pytest.approx(
+            baseline.jobs / (baseline.jobs + baseline.other_calibration),
+            abs=1e-6,
+        )
+
+
+class TestTimingModelSec9:
+    """The paper's headline timing contrast on an 11-qubit machine."""
+
+    N_QUBITS = 11
+    SHOTS = 150
+
+    def test_non_adaptive_diagnosis_lands_near_ten_seconds(self):
+        total = TimingModel().non_adaptive_total(self.N_QUBITS, self.SHOTS)
+        assert 3.0 <= total <= 30.0
+
+    def test_point_checks_take_over_a_minute(self):
+        total = TimingModel().point_check_total(self.N_QUBITS, self.SHOTS)
+        assert total > 60.0
+
+    def test_battery_beats_point_checks_by_a_wide_margin(self):
+        timing = TimingModel()
+        battery = timing.non_adaptive_total(self.N_QUBITS, self.SHOTS)
+        point = timing.point_check_total(self.N_QUBITS, self.SHOTS)
+        assert point / battery > 3.0
+
+    def test_gate_time_scales_inversely_with_machine_size(self):
+        timing = TimingModel()
+        assert timing.gate_time(16) < timing.gate_time(8)
+        assert timing.gate_time(8) == pytest.approx(timing.base_gate_time)
+
+    def test_input_validation(self):
+        timing = TimingModel()
+        with pytest.raises(ValueError):
+            timing.gate_time(0)
+        with pytest.raises(ValueError):
+            timing.circuit_run_time(4, 8, shots=0)
+        with pytest.raises(ValueError):
+            timing.adaptation_time(-1)
