@@ -30,6 +30,11 @@ Sub-packages
 * :mod:`repro.fleet` -- the fleet-over-time simulator: drifting
   fault-injected traps under pluggable maintenance policies, with the
   policy sweep behind ``python -m repro fleet``.
+* :mod:`repro.exec` -- the resilient execution layer: supervised worker
+  pool with retries and per-attempt timeouts, the crash-safe sweep
+  journal behind ``--resume``, cache-integrity checking with
+  quarantine, and the deterministic chaos injector behind
+  ``python -m repro chaos``.
 * :mod:`repro.analysis` -- thresholds, reporting, per-figure experiments,
   and the unified experiment runner behind ``python -m repro``.
 
@@ -99,7 +104,7 @@ from .trap import (
     VirtualIonTrap,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AdaptiveBinarySearch",

@@ -27,6 +27,20 @@ Subcommands
     (:mod:`repro.scenarios`) through the detection and identification
     batteries on both engines, merged into a schema-validated
     ``SCENARIOS_<preset>.json`` matrix report.
+``chaos``
+    Run the fault-injection harness (:mod:`repro.exec.report`): a real
+    sweep under injected worker crashes, stalls, transient errors and
+    cache corruption, plus a ``kill -9`` / ``--resume`` drill; emits a
+    schema'd ``CHAOS_<label>.json`` and exits 1 on any failed hard check.
+
+Sweep-shaped commands (``run --sweep``, ``scenarios``, ``arena``,
+``fleet``) share the resilience flags of the supervised execution layer
+(:mod:`repro.exec`): ``--retries``/``--retry-delay`` (per-cell retry
+policy with exponential backoff and seeded jitter), ``--attempt-timeout``
+(stalled attempts are killed, not waited on), ``--journal``/``--resume``
+(crash-safe progress journal; a rerun skips every journaled-finished
+cell), and ``--min-complete`` (accept partial sweeps down to a
+completeness floor instead of failing outright).
 
 Examples
 --------
@@ -37,11 +51,17 @@ Examples
     python -m repro run all --smoke --jobs 4 --out results
     python -m repro run fig8 --full --set "qubit_counts=[8,16]"
     python -m repro run fig8 --smoke --sweep "shots=[150,300]" --jobs 2
+    python -m repro run fig8 --smoke --sweep "seed=[1,2,3]" \\
+        --retries 3 --attempt-timeout 60 --journal sweep.journal.jsonl
+    python -m repro run fig8 --smoke --sweep "seed=[1,2,3]" \\
+        --journal sweep.journal.jsonl --resume
     python -m repro bench --smoke --out .
     python -m repro validate --smoke
     python -m repro validate --smoke --update-golden
     python -m repro scenarios --smoke
     python -m repro scenarios --smoke --kind over-rotation --jobs 2
+    python -m repro chaos --smoke
+    python -m repro chaos --smoke --crash-rate 0.5 --seed 11 --out .
 """
 
 from __future__ import annotations
@@ -54,6 +74,67 @@ from typing import Any
 
 from .analysis import registry, runner
 from .analysis.reporting import ascii_table
+
+
+def _add_resilience_flags(command: argparse.ArgumentParser) -> None:
+    """Attach the shared supervised-execution flags to a sweep command."""
+    command.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "attempts per sweep cell before it is recorded as failed "
+            "(default: 1, i.e. no retries)"
+        ),
+    )
+    command.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help=(
+            "base backoff before the first retry; doubles per attempt "
+            "with seeded jitter (default: 0.1)"
+        ),
+    )
+    command.add_argument(
+        "--attempt-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "kill an attempt (and its worker) after this many seconds; "
+            "counts against --retries (default: no timeout)"
+        ),
+    )
+    command.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only crash-safe progress journal; with --resume it "
+            "defaults to <out>/<name>-<preset>.journal.jsonl"
+        ),
+    )
+    command.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip cells the journal already records as finished "
+            "(their cached results are loaded, not recomputed)"
+        ),
+    )
+    command.add_argument(
+        "--min-complete",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help=(
+            "accept a degraded sweep if at least this fraction of cells "
+            "completed (default: 1.0 — any failed cell exits 1)"
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -145,6 +226,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dump each result payload to stdout as JSON",
     )
+    _add_resilience_flags(run)
 
     bench = sub.add_parser(
         "bench",
@@ -298,6 +380,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute even when cached results exist",
     )
+    _add_resilience_flags(scenarios)
 
     arena = sub.add_parser(
         "arena",
@@ -356,6 +439,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute even when cached results exist",
     )
+    _add_resilience_flags(arena)
 
     fleet = sub.add_parser(
         "fleet",
@@ -413,6 +497,65 @@ def _build_parser() -> argparse.ArgumentParser:
         "--force",
         action="store_true",
         help="recompute even when cached results exist",
+    )
+    _add_resilience_flags(fleet)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection harness and emit CHAOS_<label>.json",
+    )
+    chaos_preset = chaos.add_mutually_exclusive_group()
+    chaos_preset.add_argument(
+        "--smoke",
+        action="store_true",
+        help="harness at smoke scale (the default; seconds, CI-gated)",
+    )
+    chaos_preset.add_argument(
+        "--full",
+        action="store_true",
+        help="harness at full scale (more cells, higher concurrency)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="chaos decision seed — same seed, same injected faults "
+        "(default: 7)",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the faulted sweep (default: preset's)",
+    )
+    for flag, kind in (
+        ("--crash-rate", "worker crash (SIGKILL-equivalent os._exit)"),
+        ("--stall-rate", "worker stall (hang past the attempt timeout)"),
+        ("--flaky-rate", "transient in-worker exception"),
+        ("--corrupt-rate", "cache-entry corruption at write time"),
+    ):
+        chaos.add_argument(
+            flag,
+            type=float,
+            default=None,
+            metavar="P",
+            help=f"per-attempt probability of {kind} (default: preset's)",
+        )
+    chaos.add_argument(
+        "--out",
+        default=".",
+        help="directory for the CHAOS_<label>.json record (default: .)",
+    )
+    chaos.add_argument(
+        "--label",
+        default=None,
+        help="record label (default: the preset name)",
+    )
+    chaos.add_argument(
+        "--keep-workdir",
+        action="store_true",
+        help="keep the harness's temp workdir (caches, journals) for "
+        "inspection",
     )
     return parser
 
@@ -491,6 +634,52 @@ def _parse_sweeps(pairs: list[str]) -> dict[str, list[Any]]:
     return sweep
 
 
+def _retry_policy(args: argparse.Namespace):
+    """Build the sweep retry policy from the shared resilience flags."""
+    from .exec.retry import RetryPolicy
+
+    if args.retries <= 1 and args.attempt_timeout is None:
+        return None
+    return RetryPolicy(
+        max_attempts=max(1, args.retries),
+        base_delay=max(0.0, args.retry_delay),
+        timeout=args.attempt_timeout,
+    )
+
+
+def _journal_arg(args: argparse.Namespace, default_stem: str) -> str | None:
+    """Resolve --journal, deriving a default path when --resume needs one."""
+    if args.journal is not None:
+        return args.journal
+    if args.resume:
+        from pathlib import Path
+
+        return str(Path(args.out) / f"{default_stem}.journal.jsonl")
+    return None
+
+
+def _report_degradation(result) -> None:
+    """Print a degraded sweep's per-cell failures to stderr."""
+    degradation = result.degradation()
+    for failure in degradation["failures"]:
+        point = ", ".join(f"{k}={v!r}" for k, v in failure["point"].items())
+        last = failure["attempts"][-1] if failure["attempts"] else None
+        detail = (
+            f": {last['error_type']}: {last['message']}" if last else ""
+        )
+        print(
+            f"failed cell [{point}] ({failure['status']} after "
+            f"{len(failure['attempts'])} attempt(s)){detail}",
+            file=sys.stderr,
+        )
+    print(
+        f"degraded sweep: {degradation['n_completed']}"
+        f"/{degradation['n_points']} cells completed "
+        f"({degradation['completeness']:.0%})",
+        file=sys.stderr,
+    )
+
+
 def _emit_record(
     record, args: argparse.Namespace, preset: str, suffix: str | None = None
 ) -> None:
@@ -516,6 +705,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if overrides and len(names) != 1:
         raise SystemExit("--set applies to a single experiment only")
     sweep = _parse_sweeps(args.sweeps)
+    resilient = (
+        args.retries > 1
+        or args.attempt_timeout is not None
+        or args.journal is not None
+        or args.resume
+        or args.min_complete < 1.0
+    )
     if sweep:
         if len(names) != 1:
             raise SystemExit("--sweep applies to a single experiment only")
@@ -529,6 +725,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 cache_dir=args.cache_dir,
                 use_cache=not args.no_cache,
                 force=args.force,
+                retry=_retry_policy(args),
+                journal=_journal_arg(args, f"{names[0]}-{preset}"),
+                resume=args.resume,
             )
         except (KeyError, ValueError, TypeError) as exc:
             message = exc.args[0] if exc.args else str(exc)
@@ -539,7 +738,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 + ", ".join(f"{k}={v!r}" for k, v in point.items())
             )
             _emit_record(record, args, preset, suffix=record.config_digest)
+        if not results.complete:
+            _report_degradation(results)
+            if not len(results) or results.completeness < args.min_complete:
+                raise SystemExit(
+                    f"error: sweep completeness {results.completeness:.0%} "
+                    f"below --min-complete {args.min_complete:.0%}"
+                )
         return 0
+    if resilient:
+        raise SystemExit(
+            "error: --retries/--attempt-timeout/--journal/--resume/"
+            "--min-complete apply to --sweep runs only"
+        )
     try:
         records = runner.run_many(
             names,
@@ -656,7 +867,14 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             force=args.force,
+            retry=_retry_policy(args),
+            journal=_journal_arg(args, f"scenarios-{preset}"),
+            resume=args.resume,
+            min_complete=args.min_complete,
         )
+    except runner.SweepDegradedError as exc:
+        _report_degradation(exc.result)
+        raise SystemExit(f"error: {exc}") from exc
     except (KeyError, ValueError, TypeError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         raise SystemExit(f"error: {message}") from exc
@@ -721,7 +939,14 @@ def _cmd_arena(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             force=args.force,
+            retry=_retry_policy(args),
+            journal=_journal_arg(args, f"arena-{preset}"),
+            resume=args.resume,
+            min_complete=args.min_complete,
         )
+    except runner.SweepDegradedError as exc:
+        _report_degradation(exc.result)
+        raise SystemExit(f"error: {exc}") from exc
     except (KeyError, ValueError, TypeError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         raise SystemExit(f"error: {message}") from exc
@@ -827,7 +1052,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             force=args.force,
+            retry=_retry_policy(args),
+            journal=_journal_arg(args, f"fleet-{preset}"),
+            resume=args.resume,
+            min_complete=args.min_complete,
         )
+    except runner.SweepDegradedError as exc:
+        _report_degradation(exc.result)
+        raise SystemExit(f"error: {exc}") from exc
     except (KeyError, ValueError, TypeError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         raise SystemExit(f"error: {message}") from exc
@@ -895,6 +1127,80 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 1 if failed_hard else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection harness, print the verdicts, emit the record.
+
+    Exits 1 when any embedded hard check fails — surviving injected
+    faults is the artifact, not just the JSON.
+    """
+    from .exec.report import run_chaos
+
+    preset = "full" if args.full else "smoke"
+    try:
+        payload, path = run_chaos(
+            preset=preset,
+            out_dir=args.out,
+            seed=args.seed,
+            label=args.label,
+            jobs=args.jobs,
+            crash_rate=args.crash_rate,
+            stall_rate=args.stall_rate,
+            flaky_rate=args.flaky_rate,
+            corrupt_rate=args.corrupt_rate,
+            keep_workdir=args.keep_workdir,
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"error: {message}") from exc
+    rows = [
+        [
+            cell["key"].split(":", 1)[-1],
+            cell["status"],
+            cell["n_attempts"],
+            ",".join(kind or "-" for kind in cell["injected"]) or "-",
+            "yes" if cell.get("fingerprint_match") else "NO",
+        ]
+        for cell in payload["cells"]
+    ]
+    print(
+        ascii_table(
+            ["cell", "status", "attempts", "injected", "matches baseline"],
+            rows,
+            title=(
+                f"chaos harness ({preset}, seed {payload['chaos']['seed']}): "
+                f"{payload['experiment']} sweep under "
+                f"crash={payload['chaos']['crash_rate']:.2f} "
+                f"stall={payload['chaos']['stall_rate']:.2f} "
+                f"flaky={payload['chaos']['flaky_rate']:.2f} "
+                f"corrupt={payload['chaos']['corrupt_rate']:.2f}"
+            ),
+        )
+    )
+    resume = payload["resume"]
+    print(
+        f"resume drill: {resume['finished_before']} cells journaled before "
+        f"kill -9, {resume['resumed']} resumed from cache, "
+        f"{resume['dispatched']}/{resume['n_points']} dispatched, "
+        f"complete={resume['complete']}"
+    )
+    failed_hard = [
+        check
+        for check in payload["checks"]
+        if check["hard"] and not check["passed"]
+    ]
+    for check in payload["checks"]:
+        status = "PASS" if check["passed"] else "FAIL"
+        grade = "hard" if check["hard"] else "soft"
+        print(f"[{status}] ({grade}) {check['check_id']}: {check['observed']}")
+    print(
+        f"\ninjected {json.dumps(payload['injected'])} + "
+        f"{len(payload['corruption']['predicted'])} corrupted cache "
+        f"entr{'y' if len(payload['corruption']['predicted']) == 1 else 'ies'} "
+        f"({payload['elapsed_seconds']:.1f}s) -> {path}"
+    )
+    return 1 if failed_hard else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -914,6 +1220,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_arena(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -34,6 +34,12 @@ Registered cases
 ``xx-contraction-plan``
     Micro-benchmark: reusing a :class:`~repro.sim.xx_engine.ContractionPlan`
     vs rebuilding the spin-table contraction on every call.
+``exec-overhead``
+    The supervised worker pool (:mod:`repro.exec.pool`) vs the bare
+    ``ProcessPoolExecutor`` fan-out it replaced, on a fault-free fig8
+    smoke sweep.  Inverted semantics: the *reference* side is the
+    supervised path, so a speedup near 1.0 means the resilience layer
+    is free and a speedup above 1.05 means it costs more than 5%.
 
 The JSON schema is deliberately hand-validated
 (:func:`validate_bench_payload`) so the registry stays dependency-free.
@@ -230,6 +236,37 @@ def _scenario_battery_workload(
                     executor.execute(spec)
 
 
+def _exec_overhead_job(seed: int):
+    """One fan-out cell of the exec-overhead bench (module-level: the bare
+    ``ProcessPoolExecutor`` side must pickle the callable)."""
+    from .runner import run_experiment
+
+    return run_experiment(
+        "fig8", preset="smoke", overrides={"seed": seed}, use_cache=False
+    )
+
+
+def _exec_overhead_workload(
+    supervised: bool, cells: int = 8, jobs: int = 2
+) -> None:
+    """Fan a fault-free fig8 smoke sweep out both ways.
+
+    Identical work on both sides — ``cells`` distinct-seed fig8 smoke
+    runs over ``jobs`` worker processes, cache bypassed so every cell
+    computes — so the measured difference is purely the execution
+    layer's supervision cost (worker bookkeeping, outcome records,
+    deadline accounting).
+    """
+    from .runner import fan_out
+
+    fan_out(
+        _exec_overhead_job,
+        list(range(200, 200 + cells)),
+        jobs=jobs,
+        supervised=supervised,
+    )
+
+
 def bench_cases(preset: str = "smoke") -> list[BenchCase]:
     """The registered benchmark cases at the given preset."""
     repeats = 2 if preset == "smoke" else 1
@@ -295,6 +332,17 @@ def bench_cases(preset: str = "smoke") -> list[BenchCase]:
             description="ContractionPlan reuse vs per-call spin contraction",
             reference=lambda: _plan_micro_workload(reuse_plan=False),
             optimized=lambda: _plan_micro_workload(reuse_plan=True),
+            repeats=max(repeats, 2),
+        ),
+        BenchCase(
+            name="exec-overhead",
+            description=(
+                "supervised worker pool vs bare process-pool fan-out "
+                "(inverted: reference = supervised; speedup ~1.0 means "
+                "the resilience layer is free, > 1.05 means > 5% cost)"
+            ),
+            reference=lambda: _exec_overhead_workload(supervised=True),
+            optimized=lambda: _exec_overhead_workload(supervised=False),
             repeats=max(repeats, 2),
         ),
     ]

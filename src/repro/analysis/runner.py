@@ -1,16 +1,22 @@
-"""Unified experiment runner: caching, fan-out, structured emission.
+"""Unified experiment runner: caching, supervised fan-out, emission.
 
 This is the execution layer over :mod:`repro.analysis.registry`:
 
 * **Result cache** — every run is keyed by a SHA-256 digest of
   ``(experiment, package version, full config)``; the JSON payload lands
-  in the cache directory and a repeated invocation with the same config
-  returns it without re-simulating.
-* **Multiprocessing fan-out** — ``run_many`` distributes independent
-  experiment jobs across worker processes (each worker writes its own
-  cache file atomically, so concurrent runs compose); ``run_sweep`` is
-  the transpose — one experiment, a grid of configs — sharing the same
-  cache and pool machinery.
+  in the cache directory (stamped with a SHA-256 integrity checksum,
+  verified on read, corrupted entries quarantined) and a repeated
+  invocation with the same config returns it without re-simulating.
+* **Supervised fan-out** — ``run_many`` distributes independent
+  experiment jobs across *supervised* worker processes
+  (:mod:`repro.exec`): a worker crash or stall is isolated, retried
+  under a :class:`~repro.exec.retry.RetryPolicy` and folded into a
+  structured :class:`~repro.exec.outcomes.JobOutcome` instead of
+  aborting the sweep.  ``run_sweep`` is the transpose — one experiment,
+  a grid of configs — adding a crash-safe journal (``--resume`` skips
+  cells a previous, possibly killed, invocation already finished) and
+  graceful degradation (partial results plus a ``degradation`` section
+  rather than all-or-nothing).
 * **Structured emission** — results serialize to JSON (``to_jsonable``
   handles the dataclass/numpy/frozenset shapes the experiments produce)
   and flatten to CSV via each spec's ``to_rows``.
@@ -32,10 +38,17 @@ from typing import Any
 
 import numpy as np
 
+from ..exec.integrity import load_verified_json, stamp_integrity
+from ..exec.journal import JournalWriter, load_journal
+from ..exec.outcomes import JobOutcome, raise_outcome
+from ..exec.pool import run_supervised
+from ..exec.retry import RetryPolicy
 from .registry import ExperimentSpec, get_experiment
 
 __all__ = [
     "RunRecord",
+    "SweepDegradedError",
+    "SweepResult",
     "config_digest",
     "default_cache_dir",
     "fan_out",
@@ -56,20 +69,51 @@ __all__ = [
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
-def fan_out(fn, items, jobs: int) -> list:
+def fan_out(
+    fn,
+    items,
+    jobs: int,
+    supervised: bool | None = None,
+    policy: RetryPolicy | None = None,
+    timeout: float | None = None,
+    keys: list[str] | None = None,
+) -> list:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     The one fan-out shape shared by the runner and the experiments'
-    internal grids: ``jobs <= 1`` (or a single item) runs inline;
-    otherwise a process pool clamped to ``len(items)`` workers is used
-    (``fn`` and the items must pickle — module-level functions only).
-    Results return in input order.
+    internal grids.  ``jobs`` is clamped to at least 1 (0/negative means
+    "no parallelism", not an error) and an empty ``items`` returns an
+    empty list without touching any pool.  ``jobs <= 1`` (or a single
+    item) runs inline; otherwise the jobs run on the *supervised* pool
+    (:func:`repro.exec.pool.run_supervised`): a worker crash or stall no
+    longer aborts the whole map.  ``fn`` and the items must pickle —
+    module-level functions only.  Results return in input order.
+
+    Passing a ``policy`` or ``timeout`` forces supervision even for a
+    single job (crash isolation is then the point); ``supervised=False``
+    keeps the legacy bare ``ProcessPoolExecutor`` path — no retries, no
+    isolation, the reference side of the ``exec-overhead`` bench case.
+
+    Failures keep raise-on-first-error semantics: a job that exhausts
+    its attempts re-raises its original exception where the type is a
+    builtin, else :class:`~repro.exec.outcomes.JobFailedError`.
     """
     items = list(items)
-    if jobs <= 1 or len(items) <= 1:
+    jobs = max(1, int(jobs))
+    if not items:
+        return []
+    wants_supervision = (
+        supervised is True or policy is not None or timeout is not None
+    )
+    if (jobs <= 1 or len(items) <= 1) and not wants_supervision:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+    if supervised is False:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    outcomes = run_supervised(
+        fn, items, jobs=jobs, policy=policy, timeout=timeout, keys=keys
+    )
+    return [raise_outcome(outcome) for outcome in outcomes]
 
 
 def default_cache_dir() -> Path:
@@ -227,21 +271,24 @@ def run_experiment(
     digest = config_digest(name, config)
     cache_base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     path = _cache_path(cache_base, name, digest)
-    if use_cache and not force and path.exists():
-        with open(path) as handle:
-            payload = json.load(handle)
-        # The digest keys on the config alone; two presets can share one
-        # payload (identical configs), so refresh the request metadata.
-        payload["preset"] = preset
-        return RunRecord(
-            name=name,
-            anchor=spec.anchor,
-            preset=preset,
-            config_digest=digest,
-            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
-            cache_hit=True,
-            payload=payload,
-        )
+    if use_cache and not force:
+        # Integrity-checked read: a corrupted entry (bad checksum or
+        # undecodable JSON) is quarantined and transparently recomputed.
+        payload, status = load_verified_json(path, cache_base)
+        if payload is not None and status in ("ok", "legacy"):
+            # The digest keys on the config alone; two presets can share
+            # one payload (identical configs), so refresh the request
+            # metadata.
+            payload["preset"] = preset
+            return RunRecord(
+                name=name,
+                anchor=spec.anchor,
+                preset=preset,
+                config_digest=digest,
+                elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+                cache_hit=True,
+                payload=payload,
+            )
     from ..provenance import provenance
 
     start = time.perf_counter()
@@ -261,8 +308,15 @@ def run_experiment(
         "result": to_jsonable(result),
         "rows": {"headers": headers, "rows": to_jsonable(rows)},
     }
+    stamp_integrity(payload)
     if use_cache:
         _atomic_write_json(path, payload)
+        # Chaos corruption hook: a no-op unless REPRO_CHAOS_CORRUPT_RATE
+        # is armed, in which case this entry may be sabotaged on disk to
+        # exercise the quarantine path (the in-memory record stays good).
+        from ..exec.chaos import maybe_corrupt_file
+
+        maybe_corrupt_file(path)
     return RunRecord(
         name=name,
         anchor=spec.anchor,
@@ -384,6 +438,111 @@ def sweep_grid(sweep: dict[str, list[Any]]) -> list[dict[str, Any]]:
     ]
 
 
+@dataclasses.dataclass
+class SweepResult:
+    """Everything a (possibly degraded) sweep produced.
+
+    Iterating / indexing yields the successful ``(point, record)`` pairs
+    in grid order — the exact shape the pre-resilience ``run_sweep``
+    returned, so existing consumers keep working — while ``outcomes``
+    records the terminal :class:`~repro.exec.outcomes.JobOutcome` of
+    *every* grid point, including the ones that crashed, timed out or
+    gave up.
+    """
+
+    name: str
+    preset: str
+    points: list[dict[str, Any]]
+    digests: list[str]
+    outcomes: list[JobOutcome]
+    sweep_digest: str
+    journal: Path | None = None
+
+    @property
+    def completed(self) -> list[tuple[dict[str, Any], RunRecord]]:
+        """Successful ``(point, record)`` pairs, grid order."""
+        return [
+            (self.points[o.index], o.value) for o in self.outcomes if o.ok
+        ]
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        """Outcomes of every grid point that did not produce a result."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of grid points that produced a result."""
+        if not self.outcomes:
+            return 1.0
+        return sum(o.ok for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def complete(self) -> bool:
+        """True when every grid point produced a result."""
+        return not self.failures
+
+    def degradation(self) -> dict[str, Any]:
+        """JSON-able degradation section for partial-result artifacts."""
+        statuses: dict[str, int] = {}
+        for outcome in self.outcomes:
+            statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+        return {
+            "n_points": len(self.outcomes),
+            "n_completed": sum(o.ok for o in self.outcomes),
+            "n_failed": len(self.failures),
+            "n_resumed": statuses.get("resumed", 0),
+            "n_retried": statuses.get("retried", 0),
+            "completeness": self.completeness,
+            "statuses": statuses,
+            "failures": [
+                {**o.to_payload(), "point": self.points[o.index]}
+                for o in self.failures
+            ],
+        }
+
+    def __iter__(self):
+        return iter(self.completed)
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def __getitem__(self, index):
+        return self.completed[index]
+
+
+class SweepDegradedError(RuntimeError):
+    """A sweep completed below the caller's completeness floor.
+
+    Carries the full :class:`SweepResult` so the partial results and the
+    per-cell failure outcomes stay inspectable.
+    """
+
+    def __init__(self, result: SweepResult, min_complete: float):
+        failures = ", ".join(
+            f"{o.key}: {o.status}" for o in result.failures[:4]
+        )
+        more = len(result.failures) - 4
+        if more > 0:
+            failures += f" (+{more} more)"
+        super().__init__(
+            f"sweep degraded: {result.completeness:.0%} of "
+            f"{len(result.outcomes)} cells completed "
+            f"(floor {min_complete:.0%}); failed cells: {failures}"
+        )
+        self.result = result
+        self.min_complete = min_complete
+
+
+def _sweep_digest(name: str, preset: str, digests: list[str]) -> str:
+    """Fingerprint of a full sweep definition (for journal ownership)."""
+    blob = json.dumps(
+        {"experiment": name, "preset": preset, "cells": digests},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
 def run_sweep(
     name: str,
     sweep: dict[str, list[Any]],
@@ -393,17 +552,40 @@ def run_sweep(
     cache_dir: Path | str | None = None,
     use_cache: bool = True,
     force: bool = False,
-) -> list[tuple[dict[str, Any], RunRecord]]:
-    """Run one experiment over a grid of config overrides.
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    journal: Path | str | None = None,
+    resume: bool = False,
+) -> SweepResult:
+    """Run one experiment over a grid of config overrides, supervised.
 
     The transpose of :func:`run_many`: a single experiment, every point
     of the :func:`sweep_grid` built from ``sweep`` (applied on top of
     ``base_overrides``).  Points share the on-disk result cache — a
-    rerun of an overlapping sweep is served from disk — and fan out over
-    worker processes with ``jobs > 1``.  Returns ``(point, record)``
-    pairs in grid order.
+    rerun of an overlapping sweep is served from disk — and run on the
+    supervised worker pool, so one crashing or stalling cell degrades
+    the sweep instead of aborting it.
+
+    Resilience knobs on top of the classic signature:
+
+    ``retry``
+        A :class:`~repro.exec.retry.RetryPolicy` applied to every cell
+        (default: single attempt, no per-attempt deadline).
+    ``timeout``
+        Per-attempt deadline in seconds (overrides ``retry.timeout``).
+    ``journal``
+        Path of a crash-safe journal; every finished cell is recorded
+        *after* its result is safely in the cache.
+    ``resume``
+        With ``journal``: cells a previous invocation (even one that was
+        ``kill -9``-ed mid-sweep) proved finished are loaded from the
+        cache and marked ``resumed`` — zero recomputation, zero worker
+        dispatches for those cells.
+
+    Returns a :class:`SweepResult`; iterate it for the successful
+    ``(point, record)`` pairs in grid order.
     """
-    get_experiment(name)  # fail fast on unknown names
+    spec = get_experiment(name)  # fail fast on unknown names
     points = sweep_grid(sweep)
     base = dict(base_overrides or {})
     overlap = set(base) & set(sweep)
@@ -412,18 +594,122 @@ def run_sweep(
             "sweep fields duplicate base overrides: "
             + ", ".join(sorted(overlap))
         )
-    job_args = [
-        (
-            name,
-            preset,
-            {**base, **point},
-            str(cache_dir) if cache_dir else None,
-            use_cache,
-            force,
-        )
+    # Build every cell's config up front: config errors stay synchronous
+    # (they are caller bugs, not infrastructure failures), and the
+    # digests double as journal keys.
+    digests = [
+        config_digest(name, spec.config(preset, {**base, **point}))
         for point in points
     ]
-    return list(zip(points, fan_out(_run_job, job_args, jobs)))
+    sweep_digest = _sweep_digest(name, preset, digests)
+    # Pool/chaos/jitter keys are version-independent (point-based), so
+    # seeded retry jitter and chaos decisions survive version bumps.
+    keys = [
+        f"{name}:" + json.dumps(point, sort_keys=True, default=str)
+        for point in points
+    ]
+
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
+    finished_before: dict[str, dict[str, Any]] = {}
+    writer: JournalWriter | None = None
+    if journal is not None:
+        journal = Path(journal)
+        if resume:
+            finished_before = load_journal(journal, sweep_digest)["finished"]
+        elif journal.exists():
+            journal.unlink()  # fresh run: do not splice into an old journal
+        writer = JournalWriter(journal)
+        from ..provenance import provenance
+
+        writer.begin(name, sweep_digest, len(points), provenance())
+
+    outcomes: list[JobOutcome | None] = [None] * len(points)
+    todo: list[int] = []
+    for i, digest in enumerate(digests):
+        if digest in finished_before and not force:
+            record = run_experiment(
+                name,
+                preset=preset,
+                overrides={**base, **points[i]},
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+            )
+            outcomes[i] = JobOutcome(
+                index=i,
+                key=keys[i],
+                status="resumed",
+                attempts=[],
+                value=record,
+            )
+        else:
+            todo.append(i)
+
+    try:
+        if todo:
+            job_args = [
+                (
+                    name,
+                    preset,
+                    {**base, **points[i]},
+                    str(cache_dir) if cache_dir else None,
+                    use_cache,
+                    force,
+                )
+                for i in todo
+            ]
+
+            def _journal_outcome(event: str, outcome: JobOutcome) -> None:
+                if writer is None or event == "started":
+                    return
+                cell = todo[outcome.index]
+                writer.record_outcome(
+                    cell,
+                    digests[cell],
+                    outcome.status,
+                    [a.to_payload() for a in outcome.attempts],
+                )
+
+            for outcome in run_supervised(
+                _run_job,
+                job_args,
+                jobs=jobs,
+                policy=retry,
+                timeout=timeout,
+                keys=[keys[i] for i in todo],
+                on_event=_journal_outcome,
+            ):
+                cell = todo[outcome.index]
+                outcome.index = cell
+                outcomes[cell] = outcome
+    finally:
+        if writer is not None:
+            writer.close()
+
+    return SweepResult(
+        name=name,
+        preset=preset,
+        points=points,
+        digests=digests,
+        outcomes=[o for o in outcomes if o is not None],
+        sweep_digest=sweep_digest,
+        journal=Path(journal) if journal is not None else None,
+    )
+
+
+def _gate_sweep(
+    result: SweepResult, min_complete: float
+) -> list[tuple[dict[str, Any], RunRecord]]:
+    """Apply a front door's completeness floor to a sweep result.
+
+    Returns the successful ``(point, record)`` pairs; raises
+    :class:`SweepDegradedError` when nothing completed or the completed
+    fraction is below ``min_complete``.
+    """
+    completed = result.completed
+    if not completed or result.completeness < min_complete:
+        raise SweepDegradedError(result, min_complete)
+    return completed
 
 
 def run_scenario_matrix(
@@ -434,6 +720,11 @@ def run_scenario_matrix(
     cache_dir: Path | str | None = None,
     use_cache: bool = True,
     force: bool = False,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    journal: Path | str | None = None,
+    resume: bool = False,
+    min_complete: float = 1.0,
 ) -> tuple[dict[str, Any], list[RunRecord]]:
     """Sweep the ``scenarios`` experiment per kind and merge the matrix.
 
@@ -470,7 +761,7 @@ def run_scenario_matrix(
             + "; known: "
             + ", ".join(SCENARIO_KINDS)
         )
-    results = run_sweep(
+    sweep_result = run_sweep(
         "scenarios",
         {"scenarios": [[kind] for kind in kinds]},
         preset=preset,
@@ -479,7 +770,12 @@ def run_scenario_matrix(
         cache_dir=cache_dir,
         use_cache=use_cache,
         force=force,
+        retry=retry,
+        timeout=timeout,
+        journal=journal,
+        resume=resume,
     )
+    results = _gate_sweep(sweep_result, min_complete)
     cells: list[dict[str, Any]] = []
     anchor: dict[str, Any] = {
         "largest_resolved_2ms": None,
@@ -509,6 +805,8 @@ def run_scenario_matrix(
         detect_floor=detect_floor,
         records=record_info,
     )
+    if not sweep_result.complete:
+        payload["degradation"] = sweep_result.degradation()
     validate_matrix_payload(payload)
     return payload, [record for _, record in results]
 
@@ -521,6 +819,11 @@ def run_arena(
     cache_dir: Path | str | None = None,
     use_cache: bool = True,
     force: bool = False,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    journal: Path | str | None = None,
+    resume: bool = False,
+    min_complete: float = 1.0,
 ) -> tuple[dict[str, Any], list[RunRecord]]:
     """Sweep the ``arena`` experiment per scenario kind and merge the tournament.
 
@@ -557,7 +860,7 @@ def run_arena(
             + "; known: "
             + ", ".join(SCENARIO_KINDS)
         )
-    results = run_sweep(
+    sweep_result = run_sweep(
         "arena",
         {"scenarios": [[kind] for kind in kinds]},
         preset=preset,
@@ -566,7 +869,12 @@ def run_arena(
         cache_dir=cache_dir,
         use_cache=use_cache,
         force=force,
+        retry=retry,
+        timeout=timeout,
+        journal=journal,
+        resume=resume,
     )
+    results = _gate_sweep(sweep_result, min_complete)
     cells: list[dict[str, Any]] = []
     record_info: list[dict[str, Any]] = []
     for point, record in results:
@@ -591,6 +899,8 @@ def run_arena(
         random_detect_rate=float(config["random_detect_rate"]),
         records=record_info,
     )
+    if not sweep_result.complete:
+        payload["degradation"] = sweep_result.degradation()
     validate_arena_payload(payload)
     return payload, [record for _, record in results]
 
@@ -603,6 +913,11 @@ def run_fleet(
     cache_dir: Path | str | None = None,
     use_cache: bool = True,
     force: bool = False,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
+    journal: Path | str | None = None,
+    resume: bool = False,
+    min_complete: float = 1.0,
 ) -> tuple[dict[str, Any], list[RunRecord]]:
     """Sweep the ``fleet`` experiment per policy and merge the report.
 
@@ -639,7 +954,7 @@ def run_fleet(
             + "; known: "
             + ", ".join(POLICY_NAMES)
         )
-    results = run_sweep(
+    sweep_result = run_sweep(
         "fleet",
         {"policies": [[policy] for policy in policies]},
         preset=preset,
@@ -648,7 +963,12 @@ def run_fleet(
         cache_dir=cache_dir,
         use_cache=use_cache,
         force=force,
+        retry=retry,
+        timeout=timeout,
+        journal=journal,
+        resume=resume,
     )
+    results = _gate_sweep(sweep_result, min_complete)
     cells: list[dict[str, Any]] = []
     record_info: list[dict[str, Any]] = []
     for point, record in results:
@@ -669,6 +989,8 @@ def run_fleet(
         corruption_floor=float(config["corruption_floor"]),
         records=record_info,
     )
+    if not sweep_result.complete:
+        payload["degradation"] = sweep_result.degradation()
     validate_fleet_payload(payload)
     return payload, [record for _, record in results]
 

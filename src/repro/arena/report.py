@@ -19,7 +19,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
-from ..provenance import provenance
+from ..provenance import provenance, validate_provenance_block
 from ..scenarios.spec import SCENARIO_KINDS
 from ..validation.specs import Check
 from ..validation.stats import binomial_ci
@@ -459,10 +459,7 @@ def validate_arena_payload(payload: Any) -> None:
         isinstance(payload.get("created_unix"), (int, float)),
         "created_unix must be a number",
     )
-    _check(
-        isinstance(payload.get("provenance"), dict),
-        "provenance must be an object",
-    )
+    problems.extend(validate_provenance_block(payload.get("provenance")))
     for scalar in ("detect_floor", "random_detect_rate"):
         _check(
             isinstance(payload.get(scalar), (int, float)),

@@ -1,0 +1,200 @@
+"""Deterministic fault injection for the supervised execution layer.
+
+The chaos hooks let ``python -m repro chaos`` (and tests) prove the
+resilience invariants hold under real failures rather than mocked ones.
+Injection is driven entirely by environment variables so it crosses the
+process boundary into supervised workers for free:
+
+``REPRO_CHAOS_CRASH_RATE``
+    Probability that a worker attempt dies via ``os._exit`` before
+    computing anything (a hard crash, indistinguishable from OOM-kill).
+``REPRO_CHAOS_STALL_RATE``
+    Probability that an attempt sleeps ``REPRO_CHAOS_STALL_SECONDS``
+    (default 3600) — long past any sane deadline, so the supervisor
+    must kill it.
+``REPRO_CHAOS_FLAKY_RATE``
+    Probability that an attempt raises :class:`ChaosTransientError`
+    (a recoverable infrastructure hiccup).
+``REPRO_CHAOS_CORRUPT_RATE``
+    Probability that a freshly written cache entry is corrupted on disk
+    (bytes flipped mid-file), exercising the integrity/quarantine path.
+``REPRO_CHAOS_SEED``
+    Seed for the injection decisions (default 0).
+
+All decisions are *deterministic* functions of ``(seed, key)``: the
+harness replays :func:`decide` offline to predict exactly which
+attempts were sabotaged and asserts each injected fault landed in
+exactly one :class:`~repro.exec.outcomes.JobOutcome` attempt record.
+With no ``REPRO_CHAOS_*`` variables set every hook is a cheap no-op.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CHAOS_ENV_VARS",
+    "ChaosConfig",
+    "ChaosTransientError",
+    "CRASH_EXIT_CODE",
+    "chaos_hook",
+    "decide",
+    "maybe_corrupt_file",
+]
+
+#: Exit code used by injected crashes (visible in crash attempt records).
+CRASH_EXIT_CODE = 113
+
+#: Every environment hook the chaos layer reads.
+CHAOS_ENV_VARS = (
+    "REPRO_CHAOS_CRASH_RATE",
+    "REPRO_CHAOS_STALL_RATE",
+    "REPRO_CHAOS_FLAKY_RATE",
+    "REPRO_CHAOS_CORRUPT_RATE",
+    "REPRO_CHAOS_STALL_SECONDS",
+    "REPRO_CHAOS_SEED",
+)
+
+
+class ChaosTransientError(RuntimeError):
+    """The injected 'transient infrastructure hiccup' exception."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed injection rates (all default to 0 = inactive)."""
+
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    flaky_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    stall_seconds: float = 3600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "stall_rate", "flaky_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.crash_rate + self.stall_rate + self.flaky_rate > 1.0:
+            raise ValueError("crash+stall+flaky rates must sum to <= 1")
+
+    @property
+    def active(self) -> bool:
+        """Whether any injection can ever fire."""
+        return (
+            self.crash_rate > 0
+            or self.stall_rate > 0
+            or self.flaky_rate > 0
+            or self.corrupt_rate > 0
+        )
+
+    @classmethod
+    def from_env(cls, env: dict[str, str] | None = None) -> "ChaosConfig":
+        """Parse the ``REPRO_CHAOS_*`` variables (missing = 0/off)."""
+        env = os.environ if env is None else env
+
+        def _f(name: str, default: float) -> float:
+            raw = env.get(name)
+            return float(raw) if raw else default
+
+        return cls(
+            crash_rate=_f("REPRO_CHAOS_CRASH_RATE", 0.0),
+            stall_rate=_f("REPRO_CHAOS_STALL_RATE", 0.0),
+            flaky_rate=_f("REPRO_CHAOS_FLAKY_RATE", 0.0),
+            corrupt_rate=_f("REPRO_CHAOS_CORRUPT_RATE", 0.0),
+            stall_seconds=_f("REPRO_CHAOS_STALL_SECONDS", 3600.0),
+            seed=int(_f("REPRO_CHAOS_SEED", 0.0)),
+        )
+
+    def to_env(self) -> dict[str, str]:
+        """The environment block that round-trips through ``from_env``."""
+        return {
+            "REPRO_CHAOS_CRASH_RATE": repr(self.crash_rate),
+            "REPRO_CHAOS_STALL_RATE": repr(self.stall_rate),
+            "REPRO_CHAOS_FLAKY_RATE": repr(self.flaky_rate),
+            "REPRO_CHAOS_CORRUPT_RATE": repr(self.corrupt_rate),
+            "REPRO_CHAOS_STALL_SECONDS": repr(self.stall_seconds),
+            "REPRO_CHAOS_SEED": repr(self.seed),
+        }
+
+
+def _uniform(seed: int, key: str, stream: str) -> float:
+    """One deterministic uniform draw for ``(seed, key)`` on ``stream``."""
+    rng = np.random.default_rng(
+        [int(seed), zlib.crc32(key.encode("utf-8")), zlib.crc32(stream.encode())]
+    )
+    return float(rng.random())
+
+
+def decide(config: ChaosConfig, key: str) -> str | None:
+    """Which worker fault (if any) to inject for attempt ``key``.
+
+    Pure and deterministic — the harness replays this offline to predict
+    every injection.  Returns ``"crash"``, ``"stall"``, ``"flaky"`` or
+    ``None``; cache corruption is decided separately (per cache file,
+    not per attempt) by :func:`maybe_corrupt_file`.
+    """
+    u = _uniform(config.seed, key, "worker")
+    if u < config.crash_rate:
+        return "crash"
+    if u < config.crash_rate + config.stall_rate:
+        return "stall"
+    if u < config.crash_rate + config.stall_rate + config.flaky_rate:
+        return "flaky"
+    return None
+
+
+def chaos_hook(key: str) -> None:
+    """Worker-side injection point, called before each job attempt.
+
+    Reads the environment on every call (supervised workers inherit the
+    harness's ``REPRO_CHAOS_*`` block) and is a no-op when no rate is
+    set.  A ``crash`` bypasses all exception handling via ``os._exit``;
+    a ``stall`` sleeps far past the attempt deadline so the supervisor
+    has to kill this process; ``flaky`` raises a transient error the
+    retry policy is expected to absorb.
+    """
+    config = ChaosConfig.from_env()
+    if not config.active:
+        return
+    kind = decide(config, key)
+    if kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif kind == "stall":
+        time.sleep(config.stall_seconds)
+    elif kind == "flaky":
+        raise ChaosTransientError(f"injected transient failure for {key}")
+
+
+def maybe_corrupt_file(path: Path | str, key: str | None = None) -> bool:
+    """Corrupt a freshly written cache entry, at the configured rate.
+
+    Called by the runner's cache writer when chaos is active.  The
+    decision keys on the file *name* (stable across attempts and runs),
+    so the harness can predict exactly which entries were sabotaged.
+    Corruption flips a byte span mid-file — the JSON stays parseable in
+    some cases and not in others, exercising both the checksum-mismatch
+    and the decode-error quarantine paths.  Returns True if corrupted.
+    """
+    config = ChaosConfig.from_env()
+    if config.corrupt_rate <= 0.0:
+        return False
+    path = Path(path)
+    key = key if key is not None else path.name
+    if _uniform(config.seed, key, "corrupt") >= config.corrupt_rate:
+        return False
+    data = bytearray(path.read_bytes())
+    if not data:
+        return False
+    mid = len(data) // 2
+    for offset in range(mid, min(mid + 16, len(data))):
+        data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return True

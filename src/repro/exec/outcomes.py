@@ -1,0 +1,181 @@
+"""Structured job outcomes for the resilient execution layer.
+
+The supervised pool (:mod:`repro.exec.pool`) never lets an individual
+job abort a sweep: every infrastructure failure — a worker process
+dying, a stalled attempt killed at its deadline, a transient exception —
+is recorded as an :class:`AttemptRecord` and folded into exactly one
+terminal :class:`JobOutcome` state:
+
+``ok``
+    The first attempt succeeded.
+``retried``
+    A later attempt succeeded after at least one failure.
+``timed_out``
+    Every attempt was spent and the *last* one was killed at its
+    per-attempt deadline.
+``crashed``
+    Every attempt was spent and the *last* worker died (non-zero exit,
+    ``os._exit``, ``kill -9``).
+``gave_up``
+    Every attempt was spent and the *last* one raised an exception.
+``resumed``
+    The job was never dispatched: a sweep journal proved it finished in
+    a previous invocation and its cached result was loaded instead.
+
+The chaos harness (:mod:`repro.exec.chaos`) asserts the partition is
+exact: every injected fault shows up as exactly one attempt record, and
+every job lands in exactly one of the states above.
+"""
+
+from __future__ import annotations
+
+import builtins
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "AttemptRecord",
+    "FAILURE_STATES",
+    "JOB_STATES",
+    "JobFailedError",
+    "JobOutcome",
+    "SUCCESS_STATES",
+    "raise_outcome",
+]
+
+#: Every terminal state a job can land in (exactly one per job).
+JOB_STATES = ("ok", "retried", "timed_out", "crashed", "gave_up", "resumed")
+
+#: States that carry a result value.
+SUCCESS_STATES = ("ok", "retried", "resumed")
+
+#: States that carry a failure cause instead of a value.
+FAILURE_STATES = ("timed_out", "crashed", "gave_up")
+
+#: Attempt-level causes (an attempt either succeeds or fails one way).
+ATTEMPT_CAUSES = ("ok", "error", "timed_out", "crashed")
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one job, successful or not.
+
+    ``cause`` is one of :data:`ATTEMPT_CAUSES`; ``error_type`` and
+    ``message`` describe the exception for ``error`` attempts (and carry
+    the exit code / deadline for crashes and timeouts).
+    ``delay_seconds`` is the backoff the scheduler waited *before* this
+    attempt; ``wall_seconds`` is how long the attempt itself ran.
+    """
+
+    attempt: int
+    cause: str
+    wall_seconds: float = 0.0
+    delay_seconds: float = 0.0
+    error_type: str | None = None
+    message: str | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-able attempt record (journal + chaos report shape)."""
+        return {
+            "attempt": self.attempt,
+            "cause": self.cause,
+            "wall_seconds": self.wall_seconds,
+            "delay_seconds": self.delay_seconds,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+
+@dataclass
+class JobOutcome:
+    """Terminal record of one supervised job.
+
+    ``value`` is the job's return value for successful states and
+    ``None`` otherwise; ``attempts`` lists every attempt in order (empty
+    for ``resumed`` jobs, which never ran here).
+    """
+
+    index: int
+    key: str
+    status: str
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.status not in JOB_STATES:
+            raise ValueError(
+                f"unknown job state {self.status!r}; expected one of {JOB_STATES}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a usable result."""
+        return self.status in SUCCESS_STATES
+
+    @property
+    def n_attempts(self) -> int:
+        """How many attempts actually ran."""
+        return len(self.attempts)
+
+    @property
+    def causes(self) -> list[str]:
+        """The failure causes of every non-ok attempt, in order."""
+        return [a.cause for a in self.attempts if a.cause != "ok"]
+
+    @property
+    def last_error(self) -> tuple[str | None, str | None]:
+        """``(error_type, message)`` of the final attempt (``None`` if ok)."""
+        if not self.attempts or self.attempts[-1].cause == "ok":
+            return None, None
+        last = self.attempts[-1]
+        return last.error_type, last.message
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-able outcome (degradation sections + chaos report shape)."""
+        return {
+            "index": self.index,
+            "key": self.key,
+            "status": self.status,
+            "attempts": [a.to_payload() for a in self.attempts],
+        }
+
+
+class JobFailedError(RuntimeError):
+    """A supervised job failed and the caller asked for exceptions.
+
+    Raised by :func:`raise_outcome` (the back-compat path behind
+    :func:`repro.analysis.runner.fan_out`) when a job lands in a failure
+    state; carries the full :class:`JobOutcome` for inspection.
+    """
+
+    def __init__(self, outcome: JobOutcome):
+        error_type, message = outcome.last_error
+        super().__init__(
+            f"job {outcome.key!r} {outcome.status} after "
+            f"{outcome.n_attempts} attempt(s)"
+            + (f": {error_type}: {message}" if error_type else "")
+        )
+        self.outcome = outcome
+
+
+def raise_outcome(outcome: JobOutcome) -> Any:
+    """Return a successful outcome's value or raise its failure.
+
+    For ``gave_up`` outcomes whose last error names a builtin exception
+    type, the original type is reconstructed (so callers that catch
+    ``ValueError``/``KeyError`` across the old ``ProcessPoolExecutor``
+    boundary keep working); anything else raises
+    :class:`JobFailedError`.
+    """
+    if outcome.ok:
+        return outcome.value
+    error_type, message = outcome.last_error
+    if outcome.status == "gave_up" and error_type:
+        exc_type = getattr(builtins, error_type, None)
+        if (
+            isinstance(exc_type, type)
+            and issubclass(exc_type, Exception)
+            and exc_type is not BaseException
+        ):
+            raise exc_type(message) from JobFailedError(outcome)
+    raise JobFailedError(outcome)

@@ -1,0 +1,180 @@
+"""Deterministic retry policies for supervised jobs.
+
+A :class:`RetryPolicy` describes how many times a job may run, how long
+to back off between attempts, and how long each attempt may take.  The
+backoff is exponential with *seeded deterministic jitter*: the jitter
+fraction for attempt ``k`` of job ``key`` is drawn from a
+``numpy.random.Generator`` seeded by ``(policy.seed, key, k)``, so a
+rerun of the same sweep schedules byte-identical delays — retries never
+make a run irreproducible.
+
+:func:`retry_call` is the in-process primitive: it drives a callable
+through the policy with each attempt bounded by the arena's existing
+thread-deadline mechanism
+(:func:`repro.arena.budget.run_with_thread_deadline`), optionally under
+an overall :class:`~repro.arena.budget.TimeBudget` — once the budget's
+soft bound is spent, remaining attempts are forfeited.  The supervised
+pool (:mod:`repro.exec.pool`) reuses the same policy arithmetic but
+enforces attempt deadlines by killing worker processes, which is the
+only reliable way to stop a stalled fork.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..arena.budget import DiagnosisTimeout, TimeBudget, run_with_thread_deadline
+from .outcomes import AttemptRecord, JobOutcome
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+
+def _key_entropy(key: str) -> int:
+    """A stable 32-bit integer derived from a job key."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) a failed job attempt is retried.
+
+    ``max_attempts`` counts *total* attempts (1 = never retry).
+    ``base_delay`` of 0 is the zero-delay fast path: retries reschedule
+    immediately and no jitter generator is ever consulted.  Otherwise
+    attempt ``k`` (1-based retry index) waits
+    ``min(max_delay, base_delay * backoff**(k-1))`` stretched by a
+    jitter fraction in ``[0, jitter]`` drawn deterministically from
+    ``(seed, key, k)``.  ``timeout`` bounds each attempt's wall-clock
+    (``None`` = unbounded).
+    """
+
+    max_attempts: int = 1
+    base_delay: float = 0.0
+    backoff: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        for name in ("base_delay", "max_delay", "jitter"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1 (delays never shrink)")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+    def delay_before(self, key: str, attempt: int) -> float:
+        """Seconds to wait before ``attempt`` (0-based) of job ``key``.
+
+        Attempt 0 and the zero-delay fast path always return 0.0; other
+        attempts get the jittered exponential backoff.  Deterministic:
+        the same ``(seed, key, attempt)`` always yields the same delay.
+        """
+        if attempt <= 0 or self.base_delay == 0.0:
+            return 0.0
+        raw = min(self.max_delay, self.base_delay * self.backoff ** (attempt - 1))
+        if self.jitter == 0.0:
+            return raw
+        rng = np.random.default_rng(
+            [int(self.seed), _key_entropy(key), int(attempt)]
+        )
+        return raw * (1.0 + self.jitter * float(rng.random()))
+
+    def allows_retry(self, attempt: int) -> bool:
+        """Whether another attempt may follow 0-based attempt ``attempt``."""
+        return attempt + 1 < self.max_attempts
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    policy: RetryPolicy | None = None,
+    key: str = "call",
+    budget: TimeBudget | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> JobOutcome:
+    """Run ``fn`` under a retry policy, in-process, never raising.
+
+    Each attempt runs under the arena's thread-deadline mechanism when
+    the policy carries a ``timeout`` (so a stalled callable is abandoned
+    on a daemon worker, exactly like a stalled diagnoser), and failures
+    are converted into :class:`~repro.exec.outcomes.AttemptRecord` rows
+    instead of propagating.  ``budget`` optionally bounds the *whole*
+    session: the clock starts on entry (if not already started) and
+    once ``budget.soft_expired()`` no further attempts are scheduled —
+    the outcome lands in ``timed_out``.  ``sleep`` is injectable so
+    tests can observe backoff without waiting.
+    """
+    policy = policy or RetryPolicy()
+    if budget is not None and budget.started_at is None:
+        budget.begin()
+    attempts: list[AttemptRecord] = []
+    attempt = 0
+    while True:
+        delay = policy.delay_before(key, attempt)
+        if delay > 0.0:
+            sleep(delay)
+        started = time.perf_counter()
+        try:
+            if policy.timeout is not None:
+                value = run_with_thread_deadline(fn, policy.timeout)
+            else:
+                value = fn()
+        except DiagnosisTimeout as exc:
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    cause="timed_out",
+                    wall_seconds=time.perf_counter() - started,
+                    delay_seconds=delay,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+            )
+        except Exception as exc:
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    cause="error",
+                    wall_seconds=time.perf_counter() - started,
+                    delay_seconds=delay,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+            )
+        else:
+            attempts.append(
+                AttemptRecord(
+                    attempt=attempt,
+                    cause="ok",
+                    wall_seconds=time.perf_counter() - started,
+                    delay_seconds=delay,
+                )
+            )
+            return JobOutcome(
+                index=0,
+                key=key,
+                status="ok" if attempt == 0 else "retried",
+                attempts=attempts,
+                value=value,
+            )
+        budget_spent = budget is not None and budget.soft_expired()
+        if policy.allows_retry(attempt) and not budget_spent:
+            attempt += 1
+            continue
+        last = attempts[-1].cause
+        if budget_spent or last == "timed_out":
+            status = "timed_out"
+        else:
+            status = "gave_up"
+        return JobOutcome(
+            index=0, key=key, status=status, attempts=attempts, value=None
+        )

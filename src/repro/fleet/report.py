@@ -20,7 +20,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
-from ..provenance import provenance
+from ..provenance import provenance, validate_provenance_block
 from ..trap.duty_cycle import DutyCycleBreakdown, improved_duty_cycle
 from ..validation.specs import Check
 from .policies import POLICY_NAMES
@@ -392,10 +392,7 @@ def validate_fleet_payload(payload: Any) -> None:
         isinstance(payload.get("created_unix"), (int, float)),
         "created_unix must be a number",
     )
-    _check(
-        isinstance(payload.get("provenance"), dict),
-        "provenance must be an object",
-    )
+    problems.extend(validate_provenance_block(payload.get("provenance")))
     for scalar in ("detect_floor", "corruption_floor"):
         _check(
             isinstance(payload.get(scalar), (int, float)),

@@ -10,12 +10,28 @@ package degrades to ``None`` fields, never an error.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import platform
 import subprocess
 from pathlib import Path
 from typing import Any
 
-__all__ = ["git_sha", "provenance"]
+__all__ = [
+    "VOLATILE_KEYS",
+    "git_sha",
+    "payload_fingerprint",
+    "payloads_equivalent",
+    "provenance",
+    "strip_volatile",
+    "validate_provenance_block",
+]
+
+#: Payload keys that legitimately differ between equivalent runs:
+#: who/when/how-long, never *what*.
+VOLATILE_KEYS = frozenset(
+    {"provenance", "elapsed_seconds", "created_unix", "integrity"}
+)
 
 
 def git_sha() -> str | None:
@@ -53,3 +69,62 @@ def provenance(config_digest: str | None = None) -> dict[str, Any]:
     if config_digest is not None:
         record["config_digest"] = config_digest
     return record
+
+
+def strip_volatile(payload: Any) -> Any:
+    """Recursively drop :data:`VOLATILE_KEYS` from a JSON-able payload.
+
+    What remains is the *content* of an artifact — the part two
+    equivalent runs must agree on byte-for-byte.  Used for "modulo
+    provenance" diffing of runner cache entries and the ``FLEET_`` /
+    ``ARENA_`` / ``CHAOS_`` report family.
+    """
+    if isinstance(payload, dict):
+        return {
+            key: strip_volatile(value)
+            for key, value in payload.items()
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(payload, list):
+        return [strip_volatile(value) for value in payload]
+    return payload
+
+
+def payload_fingerprint(payload: Any) -> str:
+    """SHA-256 of the canonical JSON of a volatile-stripped payload."""
+    canonical = json.dumps(
+        strip_volatile(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def payloads_equivalent(a: Any, b: Any) -> bool:
+    """Whether two payloads agree modulo provenance/timing/integrity."""
+    return payload_fingerprint(a) == payload_fingerprint(b)
+
+
+def validate_provenance_block(
+    block: Any, where: str = "provenance"
+) -> list[str]:
+    """Schema problems (empty list = valid) for a stamped provenance block.
+
+    Shared by every report validator so ``FLEET_``/``ARENA_``/
+    ``SCENARIOS_``/``CHAOS_`` artifacts carry a *uniform* provenance
+    shape, not merely "some object".
+    """
+    if not isinstance(block, dict):
+        return [f"{where} must be an object"]
+    problems: list[str] = []
+    if not (
+        isinstance(block.get("repro_version"), str)
+        and block.get("repro_version")
+    ):
+        problems.append(f"{where}.repro_version must be a non-empty string")
+    if not (
+        block.get("git_sha") is None or isinstance(block.get("git_sha"), str)
+    ):
+        problems.append(f"{where}.git_sha must be a string or null")
+    for key in ("python", "numpy"):
+        if not isinstance(block.get(key), str):
+            problems.append(f"{where}.{key} must be a string")
+    return problems

@@ -15,7 +15,7 @@ import time
 from pathlib import Path
 from typing import Any
 
-from ..provenance import provenance
+from ..provenance import provenance, validate_provenance_block
 from .spec import SCENARIO_KINDS
 
 __all__ = [
@@ -105,10 +105,7 @@ def validate_matrix_payload(payload: Any) -> None:
             isinstance(payload.get("created_unix"), (int, float)),
             "created_unix must be a number",
         )
-        _check(
-            isinstance(payload.get("provenance"), dict),
-            "provenance must be an object",
-        )
+        problems.extend(validate_provenance_block(payload.get("provenance")))
         _check(
             isinstance(payload.get("detect_floor"), (int, float)),
             "detect_floor must be a number",

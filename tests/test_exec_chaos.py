@@ -1,0 +1,209 @@
+"""Deterministic chaos injection and the harness's report schema.
+
+The unit tests here stay tier-1 (no real sweeps); the end-to-end
+harness run — the ``python -m repro chaos --smoke`` battery with its
+kill -9 resume drill — is marked ``chaos`` (tier-2, run by CI's
+chaos-smoke job).
+"""
+
+import time
+
+import pytest
+
+from repro.exec.chaos import (
+    CHAOS_ENV_VARS,
+    CRASH_EXIT_CODE,
+    ChaosConfig,
+    ChaosTransientError,
+    chaos_hook,
+    decide,
+    maybe_corrupt_file,
+)
+from repro.exec.report import CHAOS_SCHEMA_ID, validate_chaos_payload
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos_env(monkeypatch):
+    """Chaos must never leak between tests (or in from the outside)."""
+    for name in CHAOS_ENV_VARS:
+        monkeypatch.delenv(name, raising=False)
+
+
+def test_config_rejects_bad_rates():
+    with pytest.raises(ValueError):
+        ChaosConfig(crash_rate=1.5)
+    with pytest.raises(ValueError):
+        ChaosConfig(flaky_rate=-0.1)
+    with pytest.raises(ValueError):
+        ChaosConfig(crash_rate=0.5, stall_rate=0.4, flaky_rate=0.2)
+
+
+def test_env_round_trip_preserves_rates_exactly():
+    config = ChaosConfig(
+        crash_rate=0.3, stall_rate=0.1, flaky_rate=0.15, corrupt_rate=0.45,
+        stall_seconds=60.0, seed=7,
+    )
+    assert ChaosConfig.from_env(config.to_env()) == config
+    assert ChaosConfig.from_env({}) == ChaosConfig()
+    assert not ChaosConfig.from_env({}).active
+
+
+def test_decide_is_deterministic_and_rate_faithful():
+    config = ChaosConfig(crash_rate=0.3, stall_rate=0.1, flaky_rate=0.15)
+    keys = [f"cell-{i}#a0" for i in range(400)]
+    first = [decide(config, k) for k in keys]
+    assert first == [decide(config, k) for k in keys]  # replayable
+    counts = {kind: first.count(kind) for kind in ("crash", "stall", "flaky")}
+    # Rates are honored to within loose binomial slack on 400 draws.
+    assert 70 <= counts["crash"] <= 170
+    assert 10 <= counts["stall"] <= 90
+    assert 25 <= counts["flaky"] <= 105
+    # Extremes are exact.
+    assert decide(ChaosConfig(crash_rate=1.0), "any") == "crash"
+    assert decide(ChaosConfig(), "any") is None
+
+
+def test_chaos_hook_is_inert_without_env():
+    chaos_hook("whatever")  # must not raise, sleep or exit
+
+
+def test_chaos_hook_raises_transient_when_flaky_fires(monkeypatch):
+    config = ChaosConfig(flaky_rate=1.0, seed=3)
+    for name, value in config.to_env().items():
+        monkeypatch.setenv(name, value)
+    with pytest.raises(ChaosTransientError):
+        chaos_hook("some-attempt")
+
+
+def test_chaos_hook_stalls_for_configured_seconds(monkeypatch):
+    config = ChaosConfig(stall_rate=1.0, stall_seconds=0.05, seed=3)
+    for name, value in config.to_env().items():
+        monkeypatch.setenv(name, value)
+    start = time.perf_counter()
+    chaos_hook("some-attempt")
+    assert time.perf_counter() - start >= 0.05
+
+
+def test_crash_exit_code_is_distinctive():
+    assert CRASH_EXIT_CODE == 113  # shows up in crash attempt records
+
+
+def test_maybe_corrupt_file_unarmed_is_a_no_op(tmp_path):
+    path = tmp_path / "entry.json"
+    path.write_text('{"ok": true}')
+    assert maybe_corrupt_file(path) is False
+    assert path.read_text() == '{"ok": true}'
+
+
+def test_maybe_corrupt_file_flips_bytes_when_armed(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS_CORRUPT_RATE", "1.0")
+    path = tmp_path / "entry.json"
+    original = b'{"ok": true, "padding": "0123456789abcdef0123456789"}'
+    path.write_bytes(original)
+    assert maybe_corrupt_file(path) is True
+    corrupted = path.read_bytes()
+    assert corrupted != original
+    assert len(corrupted) == len(original)  # flipped in place, not truncated
+
+
+def _minimal_chaos_payload():
+    return {
+        "schema": CHAOS_SCHEMA_ID,
+        "label": "smoke",
+        "preset": "smoke",
+        "created_unix": 1.0,
+        "provenance": {
+            "repro_version": "1.8.0",
+            "git_sha": None,
+            "python": "3.11",
+            "numpy": "1.26",
+        },
+        "experiment": "fig8",
+        "sweep": {"seed": [101]},
+        "jobs": 2,
+        "chaos": {
+            "crash_rate": 0.3,
+            "stall_rate": 0.1,
+            "flaky_rate": 0.15,
+            "corrupt_rate": 0.45,
+            "stall_seconds": 60.0,
+            "seed": 7,
+        },
+        "policy": {"max_attempts": 12},
+        "cells": [
+            {
+                "key": "fig8:{\"seed\": 101}",
+                "digest": "aa",
+                "status": "retried",
+                "n_attempts": 2,
+                "causes": ["crashed"],
+                "injected": ["crash", None],
+                "fingerprint_match": True,
+            }
+        ],
+        "injected": {"crash": 1, "stall": 0, "flaky": 0},
+        "accounting_mismatches": [],
+        "corruption": {"predicted": [], "quarantined": [], "reread_ok": True},
+        "resume": {
+            "n_points": 6,
+            "child_killed": True,
+            "finished_before": 2,
+            "resumed": 2,
+            "dispatched": 4,
+            "recomputed_finished": 0,
+            "complete": True,
+            "journal_finished_after": 6,
+        },
+        "checks": [
+            {
+                "check_id": "chaos.sweep_completes_under_faults",
+                "description": "d",
+                "passed": True,
+                "hard": True,
+                "observed": "o",
+                "target": "t",
+                "value": 1.0,
+                "drift_tolerance": 0.0,
+            }
+        ],
+        "elapsed_seconds": 5.0,
+    }
+
+
+def test_chaos_schema_accepts_the_reference_shape():
+    validate_chaos_payload(_minimal_chaos_payload())
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda p: p.update(schema="wrong/v0"),
+        lambda p: p.update(cells=[]),
+        lambda p: p["chaos"].update(crash_rate=1.7),
+        lambda p: p["cells"][0].update(status="exploded"),
+        lambda p: p["checks"][0].update(check_id="bench.nope"),
+        lambda p: p["checks"][0].update(passed="yes"),
+        lambda p: p["resume"].update(n_points=-1),
+        lambda p: p.update(provenance={}),
+    ],
+)
+def test_chaos_schema_rejects_violations(mutate):
+    payload = _minimal_chaos_payload()
+    mutate(payload)
+    with pytest.raises(ValueError, match="invalid chaos payload"):
+        validate_chaos_payload(payload)
+
+
+@pytest.mark.chaos
+def test_chaos_harness_smoke_passes_all_hard_checks(tmp_path):
+    """The full battery: faulted sweep, accounting, corruption
+    round-trip and the kill -9 resume drill (seconds of wall-clock)."""
+    from repro.exec.report import run_chaos
+
+    payload, path = run_chaos(preset="smoke", out_dir=tmp_path, seed=7)
+    assert path.exists()
+    validate_chaos_payload(payload)
+    hard = [c for c in payload["checks"] if c["hard"]]
+    assert hard and all(c["passed"] for c in hard)
+    assert all(kind >= 1 for kind in payload["injected"].values())
+    assert payload["resume"]["recomputed_finished"] == 0

@@ -1,0 +1,155 @@
+"""The supervised worker pool: isolation, deadlines, retries, ordering.
+
+Job functions live at module level so they pickle under any
+multiprocessing start method (the same contract the old
+``ProcessPoolExecutor`` path imposed).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.exec.outcomes import JobFailedError, raise_outcome
+from repro.exec.pool import run_supervised
+from repro.exec.retry import RetryPolicy
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x):
+    time.sleep(0.05)
+    return x * x
+
+
+def _stall(_x):
+    time.sleep(60)
+
+
+def _always_raises(x):
+    raise ValueError(f"bad item {x}")
+
+
+def _key_error(_x):
+    raise KeyError("missing")
+
+
+def _crash_once(path):
+    """os._exit the worker on first sight of each marker path."""
+    if not os.path.exists(path):
+        with open(path, "w") as handle:
+            handle.write("seen")
+        os._exit(41)
+    return "recovered"
+
+
+def _crash_always(_x):
+    os._exit(41)
+
+
+def _square_or_raise(x):
+    if x < 0:
+        raise ValueError("negative")
+    return x * x
+
+
+def test_empty_items_short_circuits():
+    assert run_supervised(_square, []) == []
+
+
+def test_results_return_in_input_order():
+    outcomes = run_supervised(_slow_square, [3, 1, 2, 5, 4], jobs=3)
+    assert [o.status for o in outcomes] == ["ok"] * 5
+    assert [o.value for o in outcomes] == [9, 1, 4, 25, 16]
+    assert [o.index for o in outcomes] == list(range(5))
+    assert [o.key for o in outcomes] == [f"job-{i}" for i in range(5)]
+
+
+def test_worker_crash_is_isolated_and_retried(tmp_path):
+    """An os._exit mid-job costs one attempt, not the sweep."""
+    markers = [str(tmp_path / f"m{i}") for i in range(3)]
+    outcomes = run_supervised(
+        _crash_once, markers, jobs=2, policy=RetryPolicy(max_attempts=2)
+    )
+    assert [o.status for o in outcomes] == ["retried"] * 3
+    assert all(o.value == "recovered" for o in outcomes)
+    assert all(o.causes == ["crashed"] for o in outcomes)
+    assert all(
+        o.attempts[0].error_type == "WorkerCrashed" for o in outcomes
+    )
+
+
+def test_crash_exhaustion_lands_in_crashed_state():
+    outcomes = run_supervised(
+        _crash_always, [1], policy=RetryPolicy(max_attempts=2)
+    )
+    assert outcomes[0].status == "crashed"
+    assert outcomes[0].n_attempts == 2
+    assert "exit code 41" in outcomes[0].attempts[-1].message
+
+
+def test_stalled_worker_is_killed_at_the_deadline():
+    start = time.monotonic()
+    outcomes = run_supervised(_stall, ["x"], timeout=0.3)
+    assert time.monotonic() - start < 10  # not the 60s stall
+    assert outcomes[0].status == "timed_out"
+    assert outcomes[0].attempts[0].error_type == "AttemptTimeout"
+
+
+def test_exception_exhaustion_gives_up_with_detail():
+    outcomes = run_supervised(
+        _always_raises, [7], policy=RetryPolicy(max_attempts=3)
+    )
+    outcome = outcomes[0]
+    assert outcome.status == "gave_up"
+    assert outcome.causes == ["error", "error", "error"]
+    error_type, message = outcome.last_error
+    assert error_type == "ValueError"
+    assert "bad item 7" in message
+
+
+def test_mixed_sweep_keeps_successes():
+    """One doomed job degrades; the other jobs still complete."""
+    outcomes = run_supervised(_square_or_raise, [2, -1, 3], jobs=2)
+    assert [o.status for o in outcomes] == ["ok", "gave_up", "ok"]
+    assert [o.value for o in outcomes] == [4, None, 9]
+
+
+def test_on_event_fires_start_and_terminal():
+    events = []
+    run_supervised(
+        _square,
+        [2, 3],
+        on_event=lambda event, outcome: events.append((event, outcome.key)),
+    )
+    assert ("started", "job-0") in events
+    assert ("started", "job-1") in events
+    assert ("finished", "job-0") in events
+    assert ("finished", "job-1") in events
+
+
+def test_keys_must_match_items():
+    with pytest.raises(ValueError):
+        run_supervised(_square, [1, 2], keys=["only-one"])
+
+
+def test_custom_keys_flow_into_outcomes():
+    outcomes = run_supervised(_square, [2], keys=["cell-a"])
+    assert outcomes[0].key == "cell-a"
+
+
+def test_raise_outcome_reconstructs_builtin_exceptions():
+    outcomes = run_supervised(
+        _key_error, [1], policy=RetryPolicy(max_attempts=1)
+    )
+    with pytest.raises(KeyError):
+        raise_outcome(outcomes[0])
+
+
+def test_raise_outcome_wraps_crashes_in_job_failed_error():
+    outcomes = run_supervised(_crash_always, [1])
+    with pytest.raises(JobFailedError) as excinfo:
+        raise_outcome(outcomes[0])
+    assert excinfo.value.outcome.status == "crashed"
