@@ -32,6 +32,14 @@ Subcommands
     sweep under injected worker crashes, stalls, transient errors and
     cache corruption, plus a ``kill -9`` / ``--resume`` drill; emits a
     schema'd ``CHAOS_<label>.json`` and exits 1 on any failed hard check.
+``serve``
+    Run the diagnosis job service (:mod:`repro.service`): a long-running
+    stdlib HTTP server accepting experiment / scenarios / arena / fleet
+    / diagnose jobs asynchronously, executing them on the supervised
+    pool with a crash-safe job journal — a restarted server re-adopts
+    every job a ``kill -9`` orphaned.  The sweep-shaped commands accept
+    ``--service URL`` (plus ``--namespace``) to route their work through
+    a running server instead of executing locally.
 
 Sweep-shaped commands (``run --sweep``, ``scenarios``, ``arena``,
 ``fleet``) share the resilience flags of the supervised execution layer
@@ -62,6 +70,10 @@ Examples
     python -m repro scenarios --smoke --kind over-rotation --jobs 2
     python -m repro chaos --smoke
     python -m repro chaos --smoke --crash-rate 0.5 --seed 11 --out .
+    python -m repro serve --root .repro-service --port 8765 --workers 4
+    python -m repro run fig8 --smoke --service http://127.0.0.1:8765
+    python -m repro arena --smoke --service http://127.0.0.1:8765 \\
+        --namespace team-a
 """
 
 from __future__ import annotations
@@ -134,6 +146,25 @@ def _add_resilience_flags(command: argparse.ArgumentParser) -> None:
             "accept a degraded sweep if at least this fraction of cells "
             "completed (default: 1.0 — any failed cell exits 1)"
         ),
+    )
+
+
+def _add_service_flags(command: argparse.ArgumentParser) -> None:
+    """Attach the remote-execution flags to a service-routable command."""
+    command.add_argument(
+        "--service",
+        default=None,
+        metavar="URL",
+        help=(
+            "submit this command as a job to a running "
+            "'python -m repro serve' instance instead of executing locally"
+        ),
+    )
+    command.add_argument(
+        "--namespace",
+        default="default",
+        metavar="NAME",
+        help="tenant namespace for --service jobs (default: default)",
     )
 
 
@@ -227,6 +258,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dump each result payload to stdout as JSON",
     )
     _add_resilience_flags(run)
+    _add_service_flags(run)
 
     bench = sub.add_parser(
         "bench",
@@ -381,6 +413,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="recompute even when cached results exist",
     )
     _add_resilience_flags(scenarios)
+    _add_service_flags(scenarios)
 
     arena = sub.add_parser(
         "arena",
@@ -440,6 +473,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="recompute even when cached results exist",
     )
     _add_resilience_flags(arena)
+    _add_service_flags(arena)
 
     fleet = sub.add_parser(
         "fleet",
@@ -499,6 +533,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="recompute even when cached results exist",
     )
     _add_resilience_flags(fleet)
+    _add_service_flags(fleet)
 
     chaos = sub.add_parser(
         "chaos",
@@ -556,6 +591,57 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep the harness's temp workdir (caches, journals) for "
         "inspection",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running diagnosis job service (stdlib HTTP)",
+    )
+    serve.add_argument(
+        "--root",
+        default=".repro-service",
+        help=(
+            "service state directory: job journal plus per-namespace "
+            "caches and result artifacts (default: .repro-service)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks an ephemeral port (default: 8765)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent jobs, one supervised worker process each "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="default attempts per job for specs that set none "
+        "(default: 1)",
+    )
+    serve.add_argument(
+        "--attempt-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-attempt kill deadline for specs that set none "
+        "(default: no deadline)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logging",
     )
     return parser
 
@@ -696,6 +782,73 @@ def _emit_record(
         print(json.dumps(record.payload, indent=2, sort_keys=True))
 
 
+def _cmd_via_service(
+    args: argparse.Namespace, kind: str, payload: dict[str, Any]
+) -> int:
+    """Route one sweep-shaped command through a running service.
+
+    Submits the job, blocks until it is terminal, and prints where the
+    (server-side) result artifact landed.  Exit 0 only on ``done``.
+    """
+    from .service.client import HttpServiceClient, ServiceError
+
+    client = HttpServiceClient(args.service)
+    try:
+        job_id = client.submit(
+            kind=kind,
+            payload=payload,
+            namespace=args.namespace,
+            timeout=args.attempt_timeout,
+            max_attempts=max(1, args.retries),
+        )
+        print(f"submitted {kind} job {job_id} to {args.service} "
+              f"(namespace {args.namespace})")
+        state = client.wait(job_id)
+        status = client.status(job_id)
+    except ServiceError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted; job keeps running server-side — poll with "
+            f"GET {args.service}/v1/jobs/{job_id}",
+            file=sys.stderr,
+        )
+        return 130
+    print(
+        f"job {job_id} {state} after {status['n_attempts']} attempt(s)"
+        + (
+            f" -> {status['result_path']} (server-side)"
+            if status["result_path"]
+            else ""
+        )
+    )
+    if state == "done" and kind == "experiment":
+        try:
+            summary = client.result(job_id)["result"].get("summary")
+            if summary:
+                print(f"  {summary}")
+        except ServiceError:
+            pass
+    return 0 if state == "done" else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.http import serve_forever
+
+    try:
+        return serve_forever(
+            args.root,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            default_timeout=args.attempt_timeout,
+            default_max_attempts=max(1, args.retries),
+            log=not args.quiet,
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(args.names)
     if names == ["all"]:
@@ -705,6 +858,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if overrides and len(names) != 1:
         raise SystemExit("--set applies to a single experiment only")
     sweep = _parse_sweeps(args.sweeps)
+    if args.service:
+        if len(names) != 1 or sweep:
+            raise SystemExit(
+                "error: --service routes a single experiment "
+                "(no --sweep; submit sweep points as separate jobs)"
+            )
+        return _cmd_via_service(
+            args,
+            "experiment",
+            {
+                "name": names[0],
+                "preset": preset,
+                "overrides": overrides,
+                "use_cache": not args.no_cache,
+                "force": args.force,
+            },
+        )
     resilient = (
         args.retries > 1
         or args.attempt_timeout is not None
@@ -858,6 +1028,18 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
     preset = "full" if args.full else "smoke"
     overrides = _parse_overrides(args.overrides)
+    if args.service:
+        return _cmd_via_service(
+            args,
+            "scenarios",
+            {
+                "preset": preset,
+                "kinds": args.kinds or None,
+                "overrides": overrides,
+                "use_cache": not args.no_cache,
+                "force": args.force,
+            },
+        )
     try:
         payload, records = runner.run_scenario_matrix(
             preset,
@@ -930,6 +1112,18 @@ def _cmd_arena(args: argparse.Namespace) -> int:
 
     preset = "full" if args.full else "smoke"
     overrides = _parse_overrides(args.overrides)
+    if args.service:
+        return _cmd_via_service(
+            args,
+            "arena",
+            {
+                "preset": preset,
+                "kinds": args.kinds or None,
+                "overrides": overrides,
+                "use_cache": not args.no_cache,
+                "force": args.force,
+            },
+        )
     try:
         payload, records = runner.run_arena(
             preset,
@@ -1043,6 +1237,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     preset = "full" if args.full else "smoke"
     overrides = _parse_overrides(args.overrides)
+    if args.service:
+        return _cmd_via_service(
+            args,
+            "fleet",
+            {
+                "preset": preset,
+                "policies": args.policies or None,
+                "overrides": overrides,
+                "use_cache": not args.no_cache,
+                "force": args.force,
+            },
+        )
     try:
         payload, records = runner.run_fleet(
             preset,
@@ -1222,6 +1428,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fleet(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

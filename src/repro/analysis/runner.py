@@ -626,24 +626,37 @@ def run_sweep(
 
     outcomes: list[JobOutcome | None] = [None] * len(points)
     todo: list[int] = []
+    cache_base = (
+        Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    )
     for i, digest in enumerate(digests):
-        if digest in finished_before and not force:
-            record = run_experiment(
-                name,
-                preset=preset,
-                overrides={**base, **points[i]},
-                cache_dir=cache_dir,
-                use_cache=use_cache,
+        if digest in finished_before and not force and use_cache:
+            # The journal proves the cell *was* finished; trust it only
+            # as far as the cache still backs it up.  An entry corrupted
+            # since the journal was written (bad checksum, truncated
+            # JSON) is quarantined here and the cell recomputes through
+            # the supervised pool like any other — never honored as
+            # done, never recomputed inline and mislabeled "resumed".
+            payload, status = load_verified_json(
+                _cache_path(cache_base, name, digest), cache_base
             )
-            outcomes[i] = JobOutcome(
-                index=i,
-                key=keys[i],
-                status="resumed",
-                attempts=[],
-                value=record,
-            )
-        else:
-            todo.append(i)
+            if payload is not None and status in ("ok", "legacy"):
+                record = run_experiment(
+                    name,
+                    preset=preset,
+                    overrides={**base, **points[i]},
+                    cache_dir=cache_dir,
+                    use_cache=use_cache,
+                )
+                outcomes[i] = JobOutcome(
+                    index=i,
+                    key=keys[i],
+                    status="resumed",
+                    attempts=[],
+                    value=record,
+                )
+                continue
+        todo.append(i)
 
     try:
         if todo:

@@ -25,8 +25,9 @@ to :func:`time.perf_counter`) so budget arithmetic is testable without
 sleeping and so embedding harnesses can drive it from their own clock.
 
 On platforms without ``SIGALRM`` (Windows) the signal deadline degrades
-to a no-op; ``run_bounded``'s auto mechanism falls back to the thread
-deadline there too.
+to a no-op; ``run_bounded`` falls back to the thread deadline there —
+and on non-main threads — even when ``mechanism="signal"`` was forced,
+so no caller ever runs deadline-free by accident.
 """
 
 from __future__ import annotations

@@ -531,6 +531,13 @@ def run_bounded(
       (:func:`~repro.arena.budget.has_hard_deadline`), else
       ``"thread"`` — which is what lets the fleet simulator call
       diagnosers from non-main threads.
+
+    A forced ``"signal"`` in a context where the timer cannot be armed
+    (a non-main thread — service dispatchers, fleet episodes — or a
+    platform without ``SIGALRM``) also falls back to ``"thread"``:
+    :func:`~repro.arena.budget.hard_deadline` yields unarmed there, and
+    honoring the literal request would silently run with *no* deadline
+    at all — a stalling diagnoser would hang its worker forever.
     """
     if mechanism not in ("auto", "signal", "thread"):
         raise ValueError(
@@ -538,8 +545,10 @@ def run_bounded(
             "expected 'auto', 'signal' or 'thread'"
         )
     resolved = mechanism
-    if resolved == "auto":
-        resolved = "signal" if has_hard_deadline() else "thread"
+    if resolved in ("auto", "signal") and not has_hard_deadline():
+        resolved = "thread"
+    elif resolved == "auto":
+        resolved = "signal"
     budget.begin()
     try:
         if resolved == "signal":

@@ -5,8 +5,8 @@ with machinery that survives real infrastructure failures:
 
 :mod:`~repro.exec.outcomes`
     Structured per-job terminal states (``ok`` / ``retried`` /
-    ``timed_out`` / ``crashed`` / ``gave_up`` / ``resumed``) — nothing
-    aborts a sweep.
+    ``timed_out`` / ``crashed`` / ``gave_up`` / ``resumed`` /
+    ``cancelled``) — nothing aborts a sweep.
 :mod:`~repro.exec.retry`
     :class:`~repro.exec.retry.RetryPolicy` — exponential backoff with
     seeded deterministic jitter — and the in-process

@@ -58,6 +58,19 @@ class JournalWriter:
         self._fd: int | None = os.open(
             str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
+        # Heal a torn final line (truncated tail from a dead process)
+        # before appending: the fragment is a record that never fully
+        # landed, and appending after it would fuse both into one
+        # corrupt *interior* record that readers can no longer dismiss
+        # as a tail artifact.  Truncating back to the last complete
+        # record keeps the "interior corruption is a real error"
+        # contract of :func:`load_journal` intact.
+        try:
+            raw = self.path.read_bytes()
+            if raw and not raw.endswith(b"\n"):
+                os.ftruncate(self._fd, raw.rfind(b"\n") + 1)
+        except OSError:
+            pass  # unreadable tail: appends stay best-effort
 
     def append(self, record: dict[str, Any]) -> None:
         """Append one record as a single atomic line write."""

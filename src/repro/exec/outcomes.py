@@ -21,6 +21,10 @@ terminal :class:`JobOutcome` state:
 ``resumed``
     The job was never dispatched: a sweep journal proved it finished in
     a previous invocation and its cached result was loaded instead.
+``cancelled``
+    The caller's cancel hook fired before the job finished: queued
+    attempts were abandoned and any in-flight worker was killed.  Used
+    by the diagnosis service's ``cancel(job_id)`` path.
 
 The chaos harness (:mod:`repro.exec.chaos`) asserts the partition is
 exact: every injected fault shows up as exactly one attempt record, and
@@ -44,13 +48,21 @@ __all__ = [
 ]
 
 #: Every terminal state a job can land in (exactly one per job).
-JOB_STATES = ("ok", "retried", "timed_out", "crashed", "gave_up", "resumed")
+JOB_STATES = (
+    "ok",
+    "retried",
+    "timed_out",
+    "crashed",
+    "gave_up",
+    "resumed",
+    "cancelled",
+)
 
 #: States that carry a result value.
 SUCCESS_STATES = ("ok", "retried", "resumed")
 
 #: States that carry a failure cause instead of a value.
-FAILURE_STATES = ("timed_out", "crashed", "gave_up")
+FAILURE_STATES = ("timed_out", "crashed", "gave_up", "cancelled")
 
 #: Attempt-level causes (an attempt either succeeds or fails one way).
 ATTEMPT_CAUSES = ("ok", "error", "timed_out", "crashed")

@@ -147,6 +147,10 @@ def _pool_context(start_method: str | None):
     return multiprocessing.get_context(start_method)
 
 
+#: Poll interval for the caller's cancel hook while workers are busy.
+_CANCEL_POLL_SECONDS = 0.1
+
+
 def run_supervised(
     fn: Callable[[Any], Any],
     items: list[Any],
@@ -156,6 +160,7 @@ def run_supervised(
     keys: list[str] | None = None,
     on_event: Callable[[str, JobOutcome], None] | None = None,
     start_method: str | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> list[JobOutcome]:
     """Map ``fn`` over ``items`` under supervision; return one outcome each.
 
@@ -182,6 +187,13 @@ def run_supervised(
     start_method:
         Multiprocessing start method override (default: fork when
         available).
+    cancel:
+        Optional zero-argument hook polled between supervision rounds
+        (at least every ``0.1`` s while workers are busy).  The first
+        time it returns true, in-flight workers are killed and every
+        unterminated job lands in the ``cancelled`` state — the
+        service's ``cancel(job_id)`` path.  Jobs that already finished
+        keep their outcomes.
 
     Outcomes return in input order; no exception from a job ever
     propagates — inspect :attr:`JobOutcome.status`.
@@ -320,8 +332,44 @@ def run_supervised(
             ),
         )
 
+    def _cancel_remaining() -> None:
+        """Terminate every unfinished job as ``cancelled``."""
+        nonlocal completed
+        for worker in list(workers):
+            if worker.job is not None:
+                index, attempt = worker.job
+                wall = time.monotonic() - worker.dispatched_at
+                worker.job = None
+                worker.kill()
+                workers.remove(worker)
+                attempts[index].append(
+                    AttemptRecord(
+                        attempt=attempt,
+                        cause="crashed",
+                        wall_seconds=wall,
+                        error_type="Cancelled",
+                        message="attempt killed by cancellation",
+                    )
+                )
+        pending.clear()
+        delayed.clear()
+        for index in range(n):
+            if outcomes[index] is None:
+                outcomes[index] = JobOutcome(
+                    index=index,
+                    key=keys[index],
+                    status="cancelled",
+                    attempts=attempts[index],
+                    value=None,
+                )
+                completed += 1
+                _emit("failed", index)
+
     try:
         while completed < n:
+            if cancel is not None and cancel():
+                _cancel_remaining()
+                break
             now = time.monotonic()
             while delayed and delayed[0][0] <= now:
                 _, index, attempt = heapq.heappop(delayed)
@@ -341,7 +389,10 @@ def run_supervised(
             busy = [w for w in workers if w.job is not None]
             if not busy:
                 if delayed:
-                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    until_retry = max(0.0, delayed[0][0] - time.monotonic())
+                    if cancel is not None:
+                        until_retry = min(until_retry, _CANCEL_POLL_SECONDS)
+                    time.sleep(until_retry)
                     continue
                 if pending:
                     continue
@@ -362,6 +413,14 @@ def run_supervised(
                 until_retry = max(0.0, delayed[0][0] - time.monotonic())
                 wait_for = (
                     until_retry if wait_for is None else min(wait_for, until_retry)
+                )
+            if cancel is not None:
+                # Keep the wait bounded so the hook is polled promptly
+                # even with no per-attempt deadline armed.
+                wait_for = (
+                    _CANCEL_POLL_SECONDS
+                    if wait_for is None
+                    else min(wait_for, _CANCEL_POLL_SECONDS)
                 )
             watch: list[Any] = []
             for worker in busy:

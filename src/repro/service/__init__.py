@@ -1,0 +1,49 @@
+"""Diagnosis-as-a-service: long-running jobs over the supervised pool.
+
+The resilient execution layer (:mod:`repro.exec`) made individual
+sweeps survive crashes, stalls and ``kill -9``; this package turns that
+machinery into a *service*: a long-running process that accepts
+diagnosis work asynchronously, supervises it, and survives its own
+death.
+
+:mod:`~repro.service.jobs`
+    Job kinds (experiments, the scenario/arena/fleet front doors,
+    single bounded diagnoses) and the picklable worker entry point.
+:mod:`~repro.service.store`
+    The append-only, crash-safe job journal (``submitted`` → ``state``
+    → ``done``; a restart re-adopts every orphan).
+:mod:`~repro.service.service`
+    :class:`~repro.service.service.DiagnosisService` — ``submit`` /
+    ``status`` / ``result`` / ``cancel`` / ``wait`` over dispatcher
+    threads driving :func:`repro.exec.pool.run_supervised`, with
+    per-namespace cache/result isolation and integrity-stamped
+    artifacts.
+:mod:`~repro.service.client`
+    :class:`~repro.service.client.ServiceClient` (in-process) and
+    :class:`~repro.service.client.HttpServiceClient` (urllib).
+:mod:`~repro.service.http`
+    The stdlib ``/v1`` HTTP server behind ``python -m repro serve``.
+"""
+
+from .client import HttpServiceClient, ServiceClient, ServiceError
+from .jobs import JOB_KINDS, SERVICE_STATES, JobSpec, execute_job
+from .service import (
+    DiagnosisService,
+    JobNotFinishedError,
+    JobNotFoundError,
+)
+from .store import JobStore
+
+__all__ = [
+    "JOB_KINDS",
+    "SERVICE_STATES",
+    "DiagnosisService",
+    "HttpServiceClient",
+    "JobNotFinishedError",
+    "JobNotFoundError",
+    "JobSpec",
+    "JobStore",
+    "ServiceClient",
+    "ServiceError",
+    "execute_job",
+]

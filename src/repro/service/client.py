@@ -1,0 +1,161 @@
+"""Clients for the diagnosis service: in-process and HTTP.
+
+Both clients speak the same five-verb surface — ``submit`` / ``status``
+/ ``result`` / ``cancel`` / ``wait`` — so callers (the CLI's
+``--service`` routing, the lifecycle tests, user scripts) are agnostic
+to whether the service runs in their process or behind
+``python -m repro serve``.
+
+:class:`ServiceClient` wraps a live
+:class:`~repro.service.service.DiagnosisService` directly.
+:class:`HttpServiceClient` talks to the ``/v1`` HTTP API
+(:mod:`repro.service.http`) with nothing but :mod:`urllib` — no new
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from .jobs import TERMINAL_STATES, JobSpec
+from .service import DiagnosisService
+
+__all__ = ["HttpServiceClient", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service refused or could not complete a client request."""
+
+
+class ServiceClient:
+    """In-process client over a live :class:`DiagnosisService`."""
+
+    def __init__(self, service: DiagnosisService):
+        self.service = service
+
+    def submit(
+        self,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        namespace: str = "default",
+        timeout: float | None = None,
+        max_attempts: int = 1,
+    ) -> str:
+        """Submit one job; returns its (already durable) id."""
+        return self.service.submit(
+            JobSpec(
+                kind=kind,
+                payload=payload or {},
+                namespace=namespace,
+                timeout=timeout,
+                max_attempts=max_attempts,
+            )
+        )
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.service.status(job_id)
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self.service.result(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.service.cancel(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> str:
+        """Block until the job is terminal; returns its final state."""
+        return self.service.wait(job_id, timeout=timeout)
+
+    def list_jobs(self, namespace: str | None = None) -> list[dict[str, Any]]:
+        return self.service.list_jobs(namespace)
+
+
+class HttpServiceClient:
+    """``/v1`` HTTP client for ``python -m repro serve`` (stdlib only)."""
+
+    def __init__(self, base_url: str, request_timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.request_timeout = request_timeout
+
+    def _call(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=(
+                json.dumps(body).encode("utf-8") if body is not None else None
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.request_timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error")
+            except Exception:  # noqa: BLE001 — error body is best-effort
+                detail = None
+            raise ServiceError(
+                detail or f"{method} {path} failed with HTTP {exc.code}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    def health(self) -> dict[str, Any]:
+        return self._call("GET", "/v1/health")
+
+    def submit(
+        self,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        namespace: str = "default",
+        timeout: float | None = None,
+        max_attempts: int = 1,
+    ) -> str:
+        body = JobSpec(
+            kind=kind,
+            payload=payload or {},
+            namespace=namespace,
+            timeout=timeout,
+            max_attempts=max_attempts,
+        ).to_payload()
+        return self._call("POST", "/v1/jobs", body)["job_id"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._call("POST", f"/v1/jobs/{job_id}/cancel")["cancelled"])
+
+    def list_jobs(self, namespace: str | None = None) -> list[dict[str, Any]]:
+        suffix = f"?namespace={namespace}" if namespace else ""
+        return self._call("GET", f"/v1/jobs{suffix}")["jobs"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll_seconds: float = 0.2,
+    ) -> str:
+        """Poll ``status`` until the job is terminal; returns its state."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            state = self.status(job_id)["state"]
+            if state in TERMINAL_STATES:
+                return state
+            if deadline is not None and time.monotonic() >= deadline:
+                return state
+            time.sleep(poll_seconds)

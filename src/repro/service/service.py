@@ -1,0 +1,421 @@
+"""The diagnosis service: a long-running job runner over the supervised pool.
+
+:class:`DiagnosisService` accepts jobs (:class:`~repro.service.jobs.JobSpec`)
+through an async API — ``submit`` returns immediately with a job id;
+``status`` / ``result`` / ``cancel`` / ``wait`` operate on it later —
+and drives each job through :func:`repro.exec.pool.run_supervised`:
+every attempt runs crash-isolated in a worker process, stalled attempts
+are killed at the spec's deadline, failures retry under the spec's
+budget, and a ``cancel`` kills the in-flight worker within the pool's
+cancellation poll interval.
+
+Durability comes from the :class:`~repro.service.store.JobStore`
+journal: *submitted* is on disk before ``submit`` returns, *done* is on
+disk only after the result artifact is, and a service restarted over an
+existing root **re-adopts** every job the previous process left
+``queued`` or ``running`` — a ``kill -9`` mid-job re-runs that job, it
+never loses it.
+
+Multi-tenancy: each namespace gets a private subtree
+``<root>/<namespace>/{cache,results}`` — cache keys and result
+artifacts of different tenants cannot collide by construction.  Result
+artifacts are integrity-stamped (:mod:`repro.exec.integrity`) and
+verified on read, so a corrupted artifact is quarantined and surfaces
+as an explicit error instead of silently serving garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import uuid
+from pathlib import Path
+from typing import Any
+
+from ..exec.integrity import load_verified_json, stamp_integrity
+from ..exec.outcomes import JobOutcome
+from ..exec.pool import run_supervised
+from ..exec.retry import RetryPolicy
+from .jobs import TERMINAL_STATES, JobSpec, execute_job, outcome_state
+from .store import JobStore, replay_store
+
+__all__ = ["DiagnosisService", "JobNotFoundError", "JobNotFinishedError"]
+
+
+class JobNotFoundError(KeyError):
+    """No job with that id (this root, any namespace)."""
+
+
+class JobNotFinishedError(RuntimeError):
+    """``result`` was asked for before the job reached ``done``."""
+
+
+class _Job:
+    """Runtime view of one job (the store holds the durable view)."""
+
+    __slots__ = ("job_id", "spec", "state", "outcome", "result_path", "cancel_event", "adopted")
+
+    def __init__(self, job_id: str, spec: JobSpec, adopted: int = 0):
+        self.job_id = job_id
+        self.spec = spec
+        self.state = "queued"
+        self.outcome: JobOutcome | None = None
+        self.result_path: Path | None = None
+        self.cancel_event = threading.Event()
+        self.adopted = adopted
+
+
+class DiagnosisService:
+    """Long-running diagnosis-job service over the supervised pool.
+
+    Parameters
+    ----------
+    root:
+        Service state directory: the job journal lives at
+        ``<root>/service.journal.jsonl``, tenants under
+        ``<root>/<namespace>/``.  Reusing a root resumes its history
+        (terminal jobs stay queryable, orphans are re-adopted).
+    workers:
+        Dispatcher threads, i.e. how many jobs run concurrently.  Each
+        dispatcher drives one job at a time through its own supervised
+        worker process.
+    default_timeout, default_max_attempts:
+        Fallback resilience parameters for specs that do not set their
+        own.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        workers: int = 2,
+        default_timeout: float | None = None,
+        default_max_attempts: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.workers = workers
+        self.default_timeout = default_timeout
+        self.default_max_attempts = default_max_attempts
+        self.store = JobStore(self.root / "service.journal.jsonl")
+        self._jobs: dict[str, _Job] = {}
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._queue: "queue.Queue[str | None]" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+        self.adopted: list[str] = []
+        self._recover()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _recover(self) -> None:
+        """Replay the store; re-adopt every non-terminal job."""
+        for job_id, record in replay_store(self.store.path).items():
+            job = _Job(job_id, record.spec, adopted=record.adopted)
+            if record.terminal:
+                job.state = record.state
+                job.outcome = JobOutcome(
+                    index=0,
+                    key=job_id,
+                    status=record.status or "gave_up",
+                    attempts=[],
+                )
+                if record.result_path:
+                    job.result_path = Path(record.result_path)
+                self._jobs[job_id] = job
+                continue
+            # Orphan from a crashed/killed service: its worker died with
+            # the old process, so the only safe move is to run it again.
+            job.adopted += 1
+            self._jobs[job_id] = job
+            self.store.record_state(job_id, "queued", adopted=True)
+            self._queue.put(job_id)
+            self.adopted.append(job_id)
+
+    def start(self) -> "DiagnosisService":
+        """Spawn the dispatcher threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-service-dispatch-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop accepting dispatches and (optionally) join the threads.
+
+        Queued jobs stay journaled as ``queued`` — a later service over
+        the same root re-adopts them.  Running jobs finish their current
+        supervised call.
+        """
+        with self._lock:
+            self._stopping = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+        self._started = False
+
+    def close(self) -> None:
+        self.stop(wait=True)
+        self.store.close()
+
+    def __enter__(self) -> "DiagnosisService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ tenancy
+
+    def namespace_dir(self, namespace: str) -> Path:
+        return self.root / namespace
+
+    def cache_dir(self, namespace: str) -> Path:
+        return self.namespace_dir(namespace) / "cache"
+
+    def results_dir(self, namespace: str) -> Path:
+        return self.namespace_dir(namespace) / "results"
+
+    # ------------------------------------------------------------ API
+
+    def submit(self, spec: JobSpec | dict[str, Any], **kwargs: Any) -> str:
+        """Accept a job; the id is durable before this returns.
+
+        Accepts a :class:`JobSpec`, a spec payload dict, or keyword
+        fields (``submit(kind="sleep", payload={...})``).
+        """
+        if isinstance(spec, dict):
+            spec = JobSpec.from_payload(spec)
+        elif not isinstance(spec, JobSpec):
+            raise TypeError("submit expects a JobSpec or a spec dict")
+        if kwargs:
+            raise TypeError("pass spec fields inside the JobSpec/dict")
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("service is stopping; submission refused")
+        job_id = uuid.uuid4().hex[:16]
+        job = _Job(job_id, spec)
+        self.store.record_submitted(job_id, spec)
+        with self._changed:
+            self._jobs[job_id] = job
+            self._changed.notify_all()
+        self._queue.put(job_id)
+        return job_id
+
+    def _get(self, job_id: str) -> _Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(job_id)
+        return job
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """One job's current state, as a JSON-able dict."""
+        job = self._get(job_id)
+        with self._lock:
+            outcome = job.outcome
+            return {
+                "job_id": job.job_id,
+                "namespace": job.spec.namespace,
+                "kind": job.spec.kind,
+                "state": job.state,
+                "status": outcome.status if outcome else None,
+                "n_attempts": outcome.n_attempts if outcome else 0,
+                "adopted": job.adopted,
+                "result_path": (
+                    str(job.result_path) if job.result_path else None
+                ),
+            }
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """Load a finished job's integrity-verified result payload.
+
+        Raises :class:`JobNotFinishedError` unless the job is ``done``,
+        and ``RuntimeError`` if the artifact on disk fails verification
+        (it is quarantined, never silently served).
+        """
+        job = self._get(job_id)
+        with self._lock:
+            state, path = job.state, job.result_path
+        if state != "done" or path is None:
+            raise JobNotFinishedError(
+                f"job {job_id} is {state}, not done; no result to load"
+            )
+        payload, verdict = load_verified_json(
+            path, self.cache_dir(job.spec.namespace)
+        )
+        if payload is None:
+            raise RuntimeError(
+                f"result artifact for job {job_id} failed integrity "
+                f"verification ({verdict}); it has been quarantined"
+            )
+        return payload
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued or running job; False once it is terminal.
+
+        A queued job is cancelled immediately; a running one has its
+        cancel hook set, which the supervised pool polls — the worker
+        is killed and the job lands in ``cancelled`` shortly after.
+        """
+        job = self._get(job_id)
+        with self._changed:
+            if job.state in TERMINAL_STATES:
+                return False
+            job.cancel_event.set()
+            if job.state == "queued":
+                job.state = "cancelled"
+                job.outcome = JobOutcome(
+                    index=0, key=job_id, status="cancelled", attempts=[]
+                )
+                self.store.record_done(
+                    job_id, "cancelled", "cancelled", attempts=[]
+                )
+                self._changed.notify_all()
+        return True
+
+    def wait(self, job_id: str, timeout: float | None = None) -> str:
+        """Block until the job is terminal (or ``timeout``); return its state."""
+        job = self._get(job_id)
+        with self._changed:
+            self._changed.wait_for(
+                lambda: job.state in TERMINAL_STATES, timeout=timeout
+            )
+            return job.state
+
+    def list_jobs(self, namespace: str | None = None) -> list[dict[str, Any]]:
+        """Status dicts of every known job, optionally one namespace's."""
+        with self._lock:
+            ids = list(self._jobs)
+        rows = [self.status(job_id) for job_id in ids]
+        if namespace is not None:
+            rows = [row for row in rows if row["namespace"] == namespace]
+        return rows
+
+    # ------------------------------------------------------------ dispatch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            with self._lock:
+                if job.state != "queued" or job.cancel_event.is_set():
+                    continue  # cancelled (or completed by an old record)
+                job.state = "running"
+            self.store.record_state(job_id, "running")
+            try:
+                self._run_job(job)
+            except Exception as exc:  # noqa: BLE001 — a dispatcher must not die
+                self._finish(
+                    job,
+                    JobOutcome(
+                        index=0,
+                        key=job_id,
+                        status="gave_up",
+                        attempts=[],
+                        value=None,
+                    ),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    def _run_job(self, job: _Job) -> None:
+        spec = job.spec
+        cache_dir = self.cache_dir(spec.namespace)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        item = {
+            "job_id": job.job_id,
+            "kind": spec.kind,
+            "payload": spec.payload,
+            "cache_dir": str(cache_dir),
+        }
+        timeout = spec.timeout if spec.timeout is not None else self.default_timeout
+        attempts = max(spec.max_attempts, self.default_max_attempts)
+        policy = RetryPolicy(
+            max_attempts=attempts,
+            base_delay=spec.retry_delay,
+            timeout=timeout,
+        )
+        outcomes = run_supervised(
+            execute_job,
+            [item],
+            jobs=1,
+            policy=policy,
+            timeout=timeout,
+            keys=[job.job_id],
+            cancel=job.cancel_event.is_set,
+        )
+        self._finish(job, outcomes[0])
+
+    def _finish(
+        self, job: _Job, outcome: JobOutcome, error: str | None = None
+    ) -> None:
+        """Persist the artifact (done ⇒ artifact invariant), then journal."""
+        if error is not None and not outcome.attempts:
+            # Dispatcher-level failure (not a pool outcome): keep the
+            # cause visible in status() and the journal via a synthetic
+            # attempt record.
+            from ..exec.outcomes import AttemptRecord
+
+            outcome.attempts.append(
+                AttemptRecord(
+                    attempt=0,
+                    cause="error",
+                    error_type="DispatchError",
+                    message=error,
+                )
+            )
+        state = outcome_state(outcome.status)
+        result_path: Path | None = None
+        if state == "done":
+            result_path = self.results_dir(job.spec.namespace) / (
+                f"{job.job_id}.json"
+            )
+            artifact = {
+                "schema": "repro-service-result/v1",
+                "job_id": job.job_id,
+                "namespace": job.spec.namespace,
+                "kind": job.spec.kind,
+                "status": outcome.status,
+                "n_attempts": outcome.n_attempts,
+                "result": outcome.value,
+            }
+            stamp_integrity(artifact)
+            _atomic_write_json(result_path, artifact)
+        self.store.record_done(
+            job.job_id,
+            state,
+            outcome.status,
+            attempts=[a.to_payload() for a in outcome.attempts],
+            result_path=str(result_path) if result_path else None,
+        )
+        with self._changed:
+            job.outcome = outcome
+            job.result_path = result_path
+            job.state = state
+            self._changed.notify_all()
+
+
+def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
+    """Write-then-rename so readers never see a half-written artifact."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)

@@ -1,0 +1,173 @@
+"""Persistent, crash-safe job store for the diagnosis service.
+
+The store is an append-only ``service.journal.jsonl`` written through
+the sweep-journal machinery (:class:`repro.exec.journal.JournalWriter`:
+one atomic ``os.write`` per record on an ``O_APPEND`` descriptor), so a
+``kill -9`` at any byte can at worst tear the final line — earlier
+records are never corrupted and :func:`JobStore.replay` tolerates the
+torn tail exactly like :func:`repro.exec.journal.load_journal`.
+
+Record shapes (``repro-service/v1``)::
+
+    {"type": "submitted", "job_id": ..., "spec": {...}, "submitted_unix": t}
+    {"type": "state", "job_id": ..., "state": "running"|"queued", ...}
+    {"type": "done", "job_id": ..., "state": "done"|"failed"|"cancelled",
+     "status": <pool outcome status>, "attempts": [...], "result_path": ...}
+
+A ``done`` record is appended only *after* the result artifact is
+safely on disk, so (mirroring the sweep journal's ``finished`` ⇒ cached
+invariant) a ``done`` state is a proof the artifact exists.  A job whose
+last record is ``submitted`` or a ``running`` state was orphaned by a
+crash: on restart the service re-adopts it — re-queues and re-runs it —
+rather than losing it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..exec.journal import JournalWriter
+from .jobs import JobSpec
+
+__all__ = ["SERVICE_SCHEMA", "JobRecord", "JobStore"]
+
+#: Schema tag stamped into every record.
+SERVICE_SCHEMA = "repro-service/v1"
+
+
+@dataclass
+class JobRecord:
+    """One job's replayed state (the store's view, not the live one)."""
+
+    job_id: str
+    spec: JobSpec
+    state: str
+    status: str | None = None
+    attempts: list[dict[str, Any]] = field(default_factory=list)
+    result_path: str | None = None
+    submitted_unix: float = 0.0
+    adopted: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+
+class JobStore:
+    """Append-only journal of every job the service ever accepted."""
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._writer = JournalWriter(self.path)
+
+    def record_submitted(self, job_id: str, spec: JobSpec) -> None:
+        """Persist a freshly accepted job (state ``queued``)."""
+        self._writer.append(
+            {
+                "type": "submitted",
+                "schema": SERVICE_SCHEMA,
+                "job_id": job_id,
+                "spec": spec.to_payload(),
+                "submitted_unix": time.time(),
+            }
+        )
+
+    def record_state(self, job_id: str, state: str, **extra: Any) -> None:
+        """Persist a non-terminal transition (``running``, re-``queued``)."""
+        self._writer.append(
+            {"type": "state", "job_id": job_id, "state": state, **extra}
+        )
+
+    def record_done(
+        self,
+        job_id: str,
+        state: str,
+        status: str,
+        attempts: list[dict[str, Any]],
+        result_path: str | None = None,
+    ) -> None:
+        """Persist a terminal record — append only after the result
+        artifact (if any) is safely on disk."""
+        self._writer.append(
+            {
+                "type": "done",
+                "job_id": job_id,
+                "state": state,
+                "status": status,
+                "attempts": attempts,
+                "result_path": result_path,
+            }
+        )
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ replay
+
+    def replay(self) -> dict[str, JobRecord]:
+        """Fold the journal into each job's latest state.
+
+        Tolerates a torn final line (the ``kill -9`` signature) and
+        skips records for specs that no longer validate — a store from
+        a newer schema must not brick an older service.
+        """
+        return replay_store(self.path)
+
+
+def replay_store(path: Path | str) -> dict[str, JobRecord]:
+    """Parse a service journal into ``{job_id: JobRecord}``."""
+    path = Path(path)
+    records: dict[str, JobRecord] = {}
+    if not path.exists():
+        return records
+    lines = path.read_bytes().decode("utf-8", errors="replace").split("\n")
+    for position, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if position >= len(lines) - 2:
+                continue  # torn final append from a killed process
+            raise ValueError(
+                f"corrupt service journal record at line {position + 1} "
+                f"of {path}"
+            )
+        kind = record.get("type")
+        job_id = record.get("job_id")
+        if not isinstance(job_id, str):
+            continue
+        if kind == "submitted":
+            try:
+                spec = JobSpec.from_payload(record.get("spec") or {})
+            except (ValueError, TypeError):
+                continue  # unparseable spec: skip, never crash the replay
+            records[job_id] = JobRecord(
+                job_id=job_id,
+                spec=spec,
+                state="queued",
+                submitted_unix=float(record.get("submitted_unix", 0.0)),
+            )
+        elif kind == "state" and job_id in records:
+            job = records[job_id]
+            if not job.terminal:
+                job.state = str(record.get("state", job.state))
+                job.adopted += int(bool(record.get("adopted")))
+        elif kind == "done" and job_id in records:
+            job = records[job_id]
+            job.state = str(record.get("state", "failed"))
+            job.status = record.get("status")
+            job.attempts = list(record.get("attempts") or [])
+            job.result_path = record.get("result_path")
+    return records

@@ -58,10 +58,27 @@ from .statevector import (
     subregister_bitstring,
 )
 
-__all__ = ["DensePlan", "DensePlanCache", "Skeleton"]
+__all__ = ["DensePlan", "DensePlanCache", "Skeleton", "canonical_skeleton"]
 
 #: A slot skeleton: the ``(gate, qubits)`` sequence of a realized batch.
 Skeleton = tuple[tuple[str, tuple[int, ...]], ...]
+
+
+def canonical_skeleton(skeleton: Skeleton) -> Skeleton:
+    """The skeleton with its touched qubits relabeled to ``0..k-1``.
+
+    Two skeletons with the same canonical form differ only in *which*
+    full-register qubits they touch, not in the compiled schedule — the
+    plan's fused buckets, builder stacks and apply order all live on the
+    compacted register, so such plans can share one compiled core (see
+    :meth:`DensePlan.rebind`).  Relabeling follows the same sorted-touched
+    order the plan's own compaction uses.
+    """
+    touched = sorted({q for _, qubits in skeleton for q in qubits})
+    index = {q: k for k, q in enumerate(touched)}
+    return tuple(
+        (gate, tuple(index[q] for q in qubits)) for gate, qubits in skeleton
+    )
 
 #: Gates whose slot matrices depend on per-realization parameters.
 _PARAMETERIZED = ("MS", "R", "RX", "RY", "RZ")
@@ -641,6 +658,47 @@ class DensePlan:
         """Full-state gate applications per evaluation (fusion metric)."""
         return len(self._order)
 
+    def rebind(self, n_qubits: int, skeleton: Skeleton) -> "DensePlan":
+        """A plan for ``skeleton`` sharing this plan's compiled core.
+
+        The expensive compilation products — fused apply groups, builder
+        stacks, link buckets, the apply order — live entirely on the
+        compacted register, so any skeleton with the same canonical form
+        (see :func:`canonical_skeleton`) can reuse them.  Only the
+        absolute-index bookkeeping (``touched``/``index``/``skeleton``/
+        ``n_qubits``, consumed by :meth:`probabilities` to locate the
+        expected bitstring) is rebuilt, which is O(slots) dict work
+        instead of a full schedule compile.
+
+        The clone aliases the donor's compiled structures; they are
+        read-only after compilation, so sharing is safe.
+        """
+        skeleton = tuple(skeleton)
+        clone = object.__new__(DensePlan)
+        clone.n_qubits = n_qubits
+        clone.skeleton = skeleton
+        clone.fused = self.fused
+        clone.touched = sorted({q for _, qubits in skeleton for q in qubits})
+        clone.index = {q: k for k, q in enumerate(clone.touched)}
+        clone.n_local = len(clone.touched)
+        local = [
+            (gate, tuple(clone.index[q] for q in qubits))
+            for gate, qubits in skeleton
+        ]
+        if clone.n_local != self.n_local or local != self._local_slots:
+            raise ValueError(
+                "skeleton is not structurally identical to this plan"
+            )
+        clone._local_slots = self._local_slots
+        clone._fixed = self._fixed
+        clone._stack_slots = self._stack_slots
+        clone._stack_pos = self._stack_pos
+        clone._ms_slots = self._ms_slots
+        clone._ms_swapped = self._ms_swapped
+        clone._buckets = self._buckets
+        clone._order = self._order
+        return clone
+
 
 class DensePlanCache:
     """Bounded LRU of :class:`DensePlan` objects keyed by skeleton.
@@ -661,6 +719,15 @@ class DensePlanCache:
     ``MachineStats`` of whichever machine touches the cache next — exact
     per-machine attribution on a machine-private cache, best-effort on
     a battery cache shared across trial machines.
+
+    Raw-key misses consult a second, *structural* index keyed by the
+    canonical (compacted) skeleton: skeletons that touch different
+    absolute qubits but share one local structure — e.g. one nominal
+    test circuit shifted along the chain, the entire fig6/fig7 battery
+    shape — reuse the donor's compiled core through
+    :meth:`DensePlan.rebind` instead of recompiling.  ``rebinds`` counts
+    those cheap clones (drained per-machine via :meth:`take_rebinds`);
+    only true structural misses pay a full compile.
     """
 
     def __init__(self, max_plans: int = 256):
@@ -668,19 +735,39 @@ class DensePlanCache:
             raise ValueError("cache must hold at least one plan")
         self.max_plans = max_plans
         self.evictions = 0
+        self.rebinds = 0
         self._unclaimed_evictions = 0
+        self._unclaimed_rebinds = 0
         self._plans: OrderedDict[tuple[int, Skeleton], DensePlan] = (
             OrderedDict()
         )
+        # Structural donors survive raw-key eviction: they are templates,
+        # not entries, and are bounded separately by the same cap.
+        self._canonical: OrderedDict[Skeleton, DensePlan] = OrderedDict()
 
     def get(self, n_qubits: int, skeleton: Skeleton) -> tuple[DensePlan, bool]:
-        """Return ``(plan, was_cached)`` for a skeleton, compiling on miss."""
+        """Return ``(plan, was_cached)`` for a skeleton, compiling on miss.
+
+        ``was_cached`` reports a raw-key hit only; a structural rebind
+        returns ``False`` (the entry is new) while skipping the compile.
+        """
         key = (n_qubits, tuple(skeleton))
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)
             return plan, True
-        plan = DensePlan(n_qubits, key[1])
+        canonical = canonical_skeleton(key[1])
+        donor = self._canonical.get(canonical)
+        if donor is not None:
+            self._canonical.move_to_end(canonical)
+            plan = donor.rebind(n_qubits, key[1])
+            self.rebinds += 1
+            self._unclaimed_rebinds += 1
+        else:
+            plan = DensePlan(n_qubits, key[1])
+            self._canonical[canonical] = plan
+            while len(self._canonical) > self.max_plans:
+                self._canonical.popitem(last=False)
         self._plans[key] = plan
         while len(self._plans) > self.max_plans:
             self._plans.popitem(last=False)
@@ -692,6 +779,12 @@ class DensePlanCache:
         """Evictions since the last call (drained; see ``evictions``)."""
         count = self._unclaimed_evictions
         self._unclaimed_evictions = 0
+        return count
+
+    def take_rebinds(self) -> int:
+        """Structural rebinds since the last call (drained; see ``rebinds``)."""
+        count = self._unclaimed_rebinds
+        self._unclaimed_rebinds = 0
         return count
 
     def __len__(self) -> int:

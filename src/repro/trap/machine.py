@@ -95,6 +95,10 @@ class MachineStats:
     quantum_seconds: float = 0.0
     dense_plan_builds: int = 0
     dense_plan_hits: int = 0
+    #: Raw-key misses served by cloning a structurally identical plan's
+    #: compiled core (see :meth:`~repro.sim.dense_plan.DensePlan.rebind`)
+    #: — skeletons shifted along the chain share one compile.
+    dense_plan_rebinds: int = 0
     #: Cached plans dropped by LRU eviction (cache churn).  A stable
     #: workload — including one that only changes evaluation knobs like
     #: ``max_batch_bytes`` between calls — must keep this at zero;
@@ -109,6 +113,7 @@ class MachineStats:
         self.quantum_seconds = 0.0
         self.dense_plan_builds = 0
         self.dense_plan_hits = 0
+        self.dense_plan_rebinds = 0
         self.dense_plan_invalidations = 0
 
 
@@ -470,9 +475,11 @@ class VirtualIonTrap:
             plan = DensePlan(self.n_qubits, skeleton, fuse=False)
         else:
             plan, hit = self._dense_plans.get(self.n_qubits, skeleton)
+            rebinds = self._dense_plans.take_rebinds()
+            self.stats.dense_plan_rebinds += rebinds
             if hit:
                 self.stats.dense_plan_hits += 1
-            else:
+            elif not rebinds:
                 self.stats.dense_plan_builds += 1
             self.stats.dense_plan_invalidations += (
                 self._dense_plans.take_invalidations()
@@ -1042,9 +1049,11 @@ class CompiledBattery:
             return machine._match_probabilities_slots(slots, ct.expected)
         skeleton = tuple((s.gate, s.qubits) for s in slots)
         plan, hit = self._dense_plans.get(self.n_qubits, skeleton)
+        rebinds = self._dense_plans.take_rebinds()
+        machine.stats.dense_plan_rebinds += rebinds
         if hit:
             machine.stats.dense_plan_hits += 1
-        else:
+        elif not rebinds:
             machine.stats.dense_plan_builds += 1
         machine.stats.dense_plan_invalidations += (
             self._dense_plans.take_invalidations()

@@ -130,6 +130,57 @@ class TestHardDeadline:
             pass
 
 
+class _BoundedStall:
+    """A stall that eventually exits so abandoned daemon threads die."""
+
+    name = "bounded-stall"
+
+    def diagnose(self, machine, budget):
+        """Busy-wait well past the deadline, then return a marker."""
+        deadline = time.perf_counter() + 3.0
+        while time.perf_counter() < deadline:
+            time.sleep(0.01)
+        return "never-scored"
+
+
+class TestOffMainThreadDeadlines:
+    """Hard deadlines must hold on service/fleet worker threads.
+
+    SIGALRM cannot be armed off the main thread; a literal
+    ``mechanism="signal"`` there used to yield *unarmed* and let a
+    stalling diagnoser hang its worker forever.  Both ``"auto"`` and a
+    forced ``"signal"`` must fall back to the thread mechanism.
+    """
+
+    @pytest.mark.parametrize("mechanism", ["auto", "signal", "thread"])
+    def test_stall_is_killed_from_worker_thread(self, mechanism):
+        import threading
+
+        outcome = {}
+
+        def worker():
+            budget = TimeBudget(soft_seconds=0.05, hard_seconds=0.2)
+            start = time.perf_counter()
+            diagnosis, wall = run_bounded(
+                _BoundedStall(), None, budget, mechanism=mechanism
+            )
+            outcome["diagnosis"] = diagnosis
+            outcome["killed_after"] = time.perf_counter() - start
+            outcome["wall"] = wall
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "the worker thread hung on the stall"
+        diagnosis = outcome["diagnosis"]
+        assert diagnosis.timed_out
+        assert not diagnosis.detected
+        assert diagnosis.diagnoser == "bounded-stall"
+        assert outcome["killed_after"] < 2.5, (
+            "the deadline must abandon the stall, not wait it out"
+        )
+
+
 class TestTimeBudget:
     """The cooperative clock's bookkeeping."""
 

@@ -18,7 +18,7 @@ from repro.core.tests_builder import build_test_circuit, expected_output
 from repro.noise.models import NoiseParameters
 from repro.sim import statevector
 from repro.sim.circuit import Circuit
-from repro.sim.dense_plan import DensePlan, DensePlanCache
+from repro.sim.dense_plan import DensePlan, DensePlanCache, canonical_skeleton
 from repro.sim.statevector import StatevectorSimulator, subregister_bitstring
 from repro.trap.machine import VirtualIonTrap
 
@@ -138,14 +138,20 @@ def test_second_trial_performs_no_rebuilds():
     battery = compile_test_battery(n_qubits, specs)
     for index in range(len(specs)):
         battery.trial_fidelities(machine, index, shots=100, trials=2)
-    assert machine.stats.dense_plan_builds == len(specs)
+    builds = machine.stats.dense_plan_builds
+    rebinds = machine.stats.dense_plan_rebinds
+    # Every spec got a plan, but structurally identical skeletons
+    # (the same test shape shifted along the chain) share one compile.
+    assert builds + rebinds == len(specs)
+    assert 1 <= builds < len(specs)
     assert machine.stats.dense_plan_hits == 0
     perm_builds = statevector.permutation_cache_info()["builds"]
     for index in range(len(specs)):
         battery.trial_fidelities(machine, index, shots=100, trials=3)
     # Second pass over the battery: every skeleton is served from the
     # battery's plan cache and no axis permutation is derived again.
-    assert machine.stats.dense_plan_builds == len(specs)
+    assert machine.stats.dense_plan_builds == builds
+    assert machine.stats.dense_plan_rebinds == rebinds
     assert machine.stats.dense_plan_hits == len(specs)
     assert statevector.permutation_cache_info()["builds"] == perm_builds
 
@@ -189,6 +195,54 @@ def test_dense_plan_cache_bounds_and_keys():
         DensePlanCache(max_plans=0)
     with pytest.raises(ValueError):
         DensePlan(4, ())
+
+
+def test_structural_rebind_matches_fresh_compile():
+    """A rebound plan is numerically identical to a fresh compile.
+
+    The fig6 batteries are the motivating case: every test of one depth
+    is the same circuit shape shifted along the chain, so raw skeletons
+    all miss while the canonical form hits.  The rebound plan must share
+    the donor's compiled core and produce bit-identical probabilities.
+    """
+    n_qubits = 8
+    machine = VirtualIonTrap(n_qubits, noise=_fig6_noise(), seed=11)
+    spec_a, spec_b = battery_specs(n_qubits, 2)[:2]
+    cache = DensePlanCache()
+    plans = {}
+    for label, spec in (("a", spec_a), ("b", spec_b)):
+        circuit = build_test_circuit(spec, n_qubits)
+        slots = machine._realize_slots(circuit, 6)
+        skeleton = tuple((s.gate, s.qubits) for s in slots)
+        plan, hit = cache.get(n_qubits, skeleton)
+        assert not hit
+        plans[label] = (plan, slots, expected_output(spec, n_qubits))
+    assert cache.rebinds == 1, "shifted battery skeletons must share a compile"
+    plan_a, _, _ = plans["a"]
+    plan_b, slots_b, expected_b = plans["b"]
+    assert plan_b._order is plan_a._order  # shared compiled core
+    assert plan_b._buckets is plan_a._buckets
+    assert plan_b.skeleton != plan_a.skeleton
+    fresh = DensePlan(n_qubits, plan_b.skeleton)
+    params = [s.params for s in slots_b]
+    rebound_probs = plan_b.probabilities(params, expected_b)
+    assert np.array_equal(rebound_probs, fresh.probabilities(params, expected_b))
+    reference = _reference_probabilities(machine, slots_b, plan_b, expected_b)
+    assert np.max(np.abs(rebound_probs - reference)) < 1e-9
+
+
+def test_rebind_rejects_structurally_different_skeleton():
+    donor = DensePlan(4, (("MS", (0, 1)), ("R", (0,)), ("R", (1,))))
+    # Same canonical form, different absolute qubits: allowed.
+    clone = donor.rebind(5, (("MS", (2, 3)), ("R", (2,)), ("R", (3,))))
+    assert clone.touched == [2, 3]
+    assert canonical_skeleton(clone.skeleton) == canonical_skeleton(
+        donor.skeleton
+    )
+    with pytest.raises(ValueError, match="structurally"):
+        donor.rebind(4, (("MS", (0, 1)), ("R", (1,)), ("R", (0,))))
+    with pytest.raises(ValueError, match="structurally"):
+        donor.rebind(4, (("MS", (0, 1)), ("R", (0,))))
 
 
 def test_execute_compiled_battery_matches_executor_statistically():

@@ -93,3 +93,18 @@ def test_finished_supersedes_failed_across_invocations(tmp_path):
     state = load_journal(path)
     assert set(state["finished"]) == {"cell-0"}
     assert "cell-0" not in state["failed"]
+
+
+def test_reopening_after_torn_tail_truncates_before_appending(tmp_path):
+    """Appending after a kill-left torn tail must not fuse the fragment
+    with the next record into corrupt *interior* bytes: reopening the
+    writer truncates back to the last complete record first."""
+    path = _write_journal(tmp_path / "fig8.journal.jsonl")
+    with open(path, "a") as handle:
+        handle.write('{"type": "finished", "index": 2, "ke')  # torn, no \n
+    with JournalWriter(path) as writer:
+        writer.record_outcome(2, "cell-2", "ok", [])
+    state = load_journal(path)  # raises on interior corruption
+    assert set(state["finished"]) == {"cell-0", "cell-2"}
+    # The torn fragment is gone entirely, not parked mid-file.
+    assert '{"type": "finished", "index": 2, "ke' not in path.read_text()

@@ -153,3 +153,34 @@ def test_raise_outcome_wraps_crashes_in_job_failed_error():
     with pytest.raises(JobFailedError) as excinfo:
         raise_outcome(outcomes[0])
     assert excinfo.value.outcome.status == "crashed"
+
+
+# ------------------------------------------------------------ cancellation
+
+
+def test_cancel_before_dispatch_cancels_everything():
+    outcomes = run_supervised(_square, [1, 2, 3], cancel=lambda: True)
+    assert [o.status for o in outcomes] == ["cancelled"] * 3
+    assert all(o.value is None for o in outcomes)
+    assert all(not o.ok for o in outcomes)
+
+
+def test_cancel_mid_flight_kills_running_worker():
+    """A cancel raised while a worker stalls kills it within the poll
+    interval — the sweep does not wait out the stall."""
+    import threading
+
+    flag = threading.Event()
+    timer = threading.Timer(0.3, flag.set)
+    timer.start()
+    try:
+        start = time.monotonic()
+        outcomes = run_supervised(_stall, ["x", "y"], jobs=1, cancel=flag.is_set)
+        elapsed = time.monotonic() - start
+    finally:
+        timer.cancel()
+    assert elapsed < 10  # not the 60s stall
+    assert [o.status for o in outcomes] == ["cancelled", "cancelled"]
+    # The in-flight attempt is recorded as killed; the queued job never ran.
+    assert outcomes[0].attempts and outcomes[0].attempts[0].error_type == "Cancelled"
+    assert outcomes[1].attempts == []

@@ -208,6 +208,48 @@ def test_run_sweep_resume_with_partial_journal(tmp_path):
     assert len(load_journal(journal)["finished"]) == 2
 
 
+def test_resume_recomputes_journal_finished_cell_with_corrupt_cache(tmp_path):
+    """A journal-``finished`` cell whose cache entry was corrupted after
+    the journal was written must not be honored on ``--resume``: the
+    entry is quarantined and exactly that cell recomputes through the
+    pool (status ``ok``), while intact cells stay ``resumed``."""
+    journal = tmp_path / "sweep.journal.jsonl"
+    cache = tmp_path / "cache"
+    sweep = {"shots": [110, 130]}
+    first = runner.run_sweep(
+        "fig10", sweep, preset="smoke", cache_dir=cache, journal=journal,
+    )
+    assert first.complete
+    assert len(load_journal(journal)["finished"]) == 2
+
+    # Corrupt the first cell's cache entry in place, keeping its
+    # integrity stamp: the journal still says "finished", the checksum
+    # now disagrees.
+    corrupt = runner._cache_path(cache, "fig10", first.digests[0])
+    entry = json.loads(corrupt.read_text())
+    assert "integrity" in entry
+    entry["summary"] = "tampered"
+    corrupt.write_text(json.dumps(entry))
+
+    resumed = runner.run_sweep(
+        "fig10", sweep, preset="smoke", cache_dir=cache,
+        journal=journal, resume=True,
+    )
+    assert resumed.complete
+    assert [o.status for o in resumed.outcomes] == ["ok", "resumed"]
+    assert resumed.outcomes[0].n_attempts >= 1  # really recomputed
+    assert resumed.outcomes[1].n_attempts == 0  # really resumed
+    # The tampered entry went to quarantine and a fresh, valid entry
+    # took its place; a second resume trusts the journal again.
+    quarantined = list((cache / "quarantine").iterdir())
+    assert len(quarantined) == 1
+    again = runner.run_sweep(
+        "fig10", sweep, preset="smoke", cache_dir=cache,
+        journal=journal, resume=True,
+    )
+    assert [o.status for o in again.outcomes] == ["resumed", "resumed"]
+
+
 def test_run_sweep_resume_requires_a_journal(tmp_path):
     with pytest.raises(ValueError, match="journal"):
         runner.run_sweep(
