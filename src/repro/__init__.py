@@ -104,7 +104,7 @@ from .trap import (
     VirtualIonTrap,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AdaptiveBinarySearch",

@@ -37,9 +37,21 @@ Subcommands
     stdlib HTTP server accepting experiment / scenarios / arena / fleet
     / diagnose jobs asynchronously, executing them on the supervised
     pool with a crash-safe job journal — a restarted server re-adopts
-    every job a ``kill -9`` orphaned.  The sweep-shaped commands accept
-    ``--service URL`` (plus ``--namespace``) to route their work through
-    a running server instead of executing locally.
+    every job a ``kill -9`` orphaned, in the order the scheduler had
+    them queued.  Dispatch runs through a weighted fair-share scheduler
+    (``--ns-policy NS=JSON`` per-tenant weights, rate limits and
+    inflight caps; ``--aging`` bounds priority starvation) and the
+    ``--retain-*`` flags turn on periodic journal/artifact garbage
+    collection.  The sweep-shaped commands accept ``--service URL``
+    (plus ``--namespace`` and ``--priority``) to route their work
+    through a running server instead of executing locally.
+``gc``
+    Offline retention pass over a service root no server currently
+    owns: prunes terminal journal entries by age/count policy, compacts
+    the journal atomically (a ``kill -9`` mid-compaction leaves the old
+    or the new journal, never a hybrid), and sweeps orphaned result
+    artifacts plus aged cache files.  ``--dry-run`` reports without
+    deleting.
 
 Sweep-shaped commands (``run --sweep``, ``scenarios``, ``arena``,
 ``fleet``) share the resilience flags of the supervised execution layer
@@ -71,9 +83,13 @@ Examples
     python -m repro chaos --smoke
     python -m repro chaos --smoke --crash-rate 0.5 --seed 11 --out .
     python -m repro serve --root .repro-service --port 8765 --workers 4
+    python -m repro serve --root .repro-service \\
+        --ns-policy 'team-a={"weight": 3, "max_inflight": 2}' \\
+        --retain-age 604800 --retain-count 200
     python -m repro run fig8 --smoke --service http://127.0.0.1:8765
     python -m repro arena --smoke --service http://127.0.0.1:8765 \\
-        --namespace team-a
+        --namespace team-a --priority batch
+    python -m repro gc --root .repro-service --max-age 86400 --dry-run
 """
 
 from __future__ import annotations
@@ -165,6 +181,12 @@ def _add_service_flags(command: argparse.ArgumentParser) -> None:
         default="default",
         metavar="NAME",
         help="tenant namespace for --service jobs (default: default)",
+    )
+    command.add_argument(
+        "--priority",
+        default="normal",
+        choices=("interactive", "normal", "batch"),
+        help="scheduling band for --service jobs (default: normal)",
     )
 
 
@@ -643,6 +665,110 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-request access logging",
     )
+    serve.add_argument(
+        "--ns-policy",
+        dest="ns_policies",
+        action="append",
+        default=[],
+        metavar="NS=JSON",
+        help=(
+            "fair-share policy for one namespace as a JSON object with "
+            'any of "weight", "rate_limit", "burst", "max_inflight" '
+            '(repeatable; e.g. team-a={"weight": 3, "max_inflight": 2}; '
+            "a bare number is shorthand for the weight)"
+        ),
+    )
+    serve.add_argument(
+        "--aging",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "priority-aging horizon: a queued job climbs one priority "
+            "band per this many seconds waited, so batch work can never "
+            "starve (default: 60)"
+        ),
+    )
+    serve.add_argument(
+        "--retain-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "GC done/cancelled jobs older than this many seconds "
+            "(default: keep forever)"
+        ),
+    )
+    serve.add_argument(
+        "--retain-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "GC all but the newest N done/cancelled jobs per namespace "
+            "(default: keep all)"
+        ),
+    )
+    serve.add_argument(
+        "--retain-failed",
+        action="store_true",
+        help="let GC prune failed jobs too (kept as evidence by default)",
+    )
+    serve.add_argument(
+        "--retain-cache-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="GC per-namespace cache files older than this (default: keep)",
+    )
+    serve.add_argument(
+        "--gc-interval",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="how often the retention GC pass runs (default: 300)",
+    )
+
+    gc = sub.add_parser(
+        "gc",
+        help="offline retention pass over a (stopped) service root",
+    )
+    gc.add_argument(
+        "--root",
+        default=".repro-service",
+        help="service state directory to collect (default: .repro-service)",
+    )
+    gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="prune terminal jobs older than this many seconds",
+    )
+    gc.add_argument(
+        "--max-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the newest N terminal jobs per namespace",
+    )
+    gc.add_argument(
+        "--include-failed",
+        action="store_true",
+        help="prune failed jobs too (kept as evidence by default)",
+    )
+    gc.add_argument(
+        "--cache-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="delete per-namespace cache files older than this",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without touching the disk",
+    )
     return parser
 
 
@@ -798,11 +924,12 @@ def _cmd_via_service(
             kind=kind,
             payload=payload,
             namespace=args.namespace,
+            priority=args.priority,
             timeout=args.attempt_timeout,
             max_attempts=max(1, args.retries),
         )
         print(f"submitted {kind} job {job_id} to {args.service} "
-              f"(namespace {args.namespace})")
+              f"(namespace {args.namespace}, priority {args.priority})")
         state = client.wait(job_id)
         status = client.status(job_id)
     except ServiceError as exc:
@@ -832,6 +959,62 @@ def _cmd_via_service(
     return 0 if state == "done" else 1
 
 
+def _parse_ns_policies(pairs: list[str]):
+    """Parse repeated ``--ns-policy NS=JSON`` options into policies."""
+    from .service.scheduler import NamespacePolicy
+
+    policies = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--ns-policy expects NS=JSON, got {pair!r}")
+        name, _, raw = pair.partition("=")
+        name = name.strip()
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            raise SystemExit(f"--ns-policy {name}: invalid JSON value {raw!r}")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            value = {"weight": float(value)}
+        if not isinstance(value, dict):
+            raise SystemExit(
+                f"--ns-policy {name}: expected a JSON object or number, "
+                f"got {raw!r}"
+            )
+        known = {"weight", "rate_limit", "burst", "max_inflight"}
+        unknown = set(value) - known
+        if unknown:
+            raise SystemExit(
+                f"--ns-policy {name}: unknown field(s) {sorted(unknown)} "
+                f"(expected any of {sorted(known)})"
+            )
+        try:
+            policies[name] = NamespacePolicy(**value)
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"--ns-policy {name}: {exc}") from exc
+    return policies
+
+
+def _retention_policy(args: argparse.Namespace):
+    """Build the serve retention policy from the --retain-* flags."""
+    from .service.retention import DEFAULT_PRUNABLE_STATES, RetentionPolicy
+
+    if (
+        args.retain_age is None
+        and args.retain_count is None
+        and args.retain_cache_age is None
+    ):
+        return None
+    states = DEFAULT_PRUNABLE_STATES + (
+        ("failed",) if args.retain_failed else ()
+    )
+    return RetentionPolicy(
+        max_age_seconds=args.retain_age,
+        max_per_namespace=args.retain_count,
+        states=states,
+        cache_max_age_seconds=args.retain_cache_age,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.http import serve_forever
 
@@ -843,10 +1026,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             default_timeout=args.attempt_timeout,
             default_max_attempts=max(1, args.retries),
+            policies=_parse_ns_policies(args.ns_policies),
+            aging_seconds=args.aging,
+            retention=_retention_policy(args),
+            gc_interval=args.gc_interval,
             log=not args.quiet,
         )
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: {exc}") from exc
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    """Offline retention pass (``python -m repro gc``)."""
+    from .service.retention import (
+        DEFAULT_PRUNABLE_STATES,
+        RetentionPolicy,
+        run_gc,
+    )
+
+    states = DEFAULT_PRUNABLE_STATES + (
+        ("failed",) if args.include_failed else ()
+    )
+    try:
+        policy = RetentionPolicy(
+            max_age_seconds=args.max_age,
+            max_per_namespace=args.max_count,
+            states=states,
+            cache_max_age_seconds=args.cache_age,
+        )
+        if not policy.enabled:
+            raise SystemExit(
+                "error: nothing to do — set at least one of --max-age, "
+                "--max-count or --cache-age"
+            )
+        report = run_gc(args.root, policy, dry_run=args.dry_run)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -1430,6 +1647,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_chaos(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "gc":
+        return _cmd_gc(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -8,10 +8,21 @@ death.
 
 :mod:`~repro.service.jobs`
     Job kinds (experiments, the scenario/arena/fleet front doors,
-    single bounded diagnoses) and the picklable worker entry point.
+    single bounded diagnoses), priority bands and the picklable worker
+    entry point.
+:mod:`~repro.service.scheduler`
+    :class:`~repro.service.scheduler.FairScheduler` — weighted
+    fair-share across namespaces (stride scheduling), priority bands
+    with starvation-proof aging, token-bucket rate limits and
+    max-inflight caps, shutdown-sentinel semantics built in.
 :mod:`~repro.service.store`
     The append-only, crash-safe job journal (``submitted`` → ``state``
-    → ``done``; a restart re-adopts every orphan).
+    → ``done``; a restart re-adopts every orphan in scheduler order)
+    with an atomic compacting rewrite for GC.
+:mod:`~repro.service.retention`
+    :class:`~repro.service.retention.RetentionPolicy` and the GC pass:
+    age/count pruning of terminal journal entries, orphaned-artifact
+    and aged-cache sweeps (``python -m repro gc``).
 :mod:`~repro.service.service`
     :class:`~repro.service.service.DiagnosisService` — ``submit`` /
     ``status`` / ``result`` / ``cancel`` / ``wait`` over dispatcher
@@ -26,7 +37,9 @@ death.
 """
 
 from .client import HttpServiceClient, ServiceClient, ServiceError
-from .jobs import JOB_KINDS, SERVICE_STATES, JobSpec, execute_job
+from .jobs import JOB_KINDS, PRIORITIES, SERVICE_STATES, JobSpec, execute_job
+from .retention import RetentionPolicy, run_gc
+from .scheduler import FairScheduler, NamespacePolicy
 from .service import (
     DiagnosisService,
     JobNotFinishedError,
@@ -36,14 +49,19 @@ from .store import JobStore
 
 __all__ = [
     "JOB_KINDS",
+    "PRIORITIES",
     "SERVICE_STATES",
     "DiagnosisService",
+    "FairScheduler",
     "HttpServiceClient",
     "JobNotFinishedError",
     "JobNotFoundError",
     "JobSpec",
     "JobStore",
+    "NamespacePolicy",
+    "RetentionPolicy",
     "ServiceClient",
     "ServiceError",
     "execute_job",
+    "run_gc",
 ]

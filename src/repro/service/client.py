@@ -42,6 +42,7 @@ class ServiceClient:
         kind: str,
         payload: dict[str, Any] | None = None,
         namespace: str = "default",
+        priority: str = "normal",
         timeout: float | None = None,
         max_attempts: int = 1,
     ) -> str:
@@ -51,10 +52,15 @@ class ServiceClient:
                 kind=kind,
                 payload=payload or {},
                 namespace=namespace,
+                priority=priority,
                 timeout=timeout,
                 max_attempts=max_attempts,
             )
         )
+
+    def queue(self) -> dict[str, Any]:
+        """Scheduler snapshot (fair-share queues, inflight, tokens)."""
+        return self.service.queue_snapshot()
 
     def status(self, job_id: str) -> dict[str, Any]:
         return self.service.status(job_id)
@@ -117,6 +123,7 @@ class HttpServiceClient:
         kind: str,
         payload: dict[str, Any] | None = None,
         namespace: str = "default",
+        priority: str = "normal",
         timeout: float | None = None,
         max_attempts: int = 1,
     ) -> str:
@@ -124,10 +131,15 @@ class HttpServiceClient:
             kind=kind,
             payload=payload or {},
             namespace=namespace,
+            priority=priority,
             timeout=timeout,
             max_attempts=max_attempts,
         ).to_payload()
         return self._call("POST", "/v1/jobs", body)["job_id"]
+
+    def queue(self) -> dict[str, Any]:
+        """Scheduler snapshot (fair-share queues, inflight, tokens)."""
+        return self._call("GET", "/v1/queue")
 
     def status(self, job_id: str) -> dict[str, Any]:
         return self._call("GET", f"/v1/jobs/{job_id}")

@@ -8,6 +8,7 @@ new dependencies.  Endpoints (all JSON):
 Method Path                         Meaning
 ====== ============================ ===========================================
 GET    ``/v1/health``               Liveness + job-state counts
+GET    ``/v1/queue``                Scheduler snapshot (fair-share state)
 POST   ``/v1/jobs``                 Submit (body: ``JobSpec.to_payload()``)
 GET    ``/v1/jobs``                 List jobs (``?namespace=`` filter)
 GET    ``/v1/jobs/<id>``            One job's status
@@ -32,6 +33,8 @@ from typing import Any
 from urllib.parse import parse_qs, urlparse
 
 from .jobs import JobSpec
+from .retention import RetentionPolicy
+from .scheduler import NamespacePolicy
 from .service import (
     DiagnosisService,
     JobNotFinishedError,
@@ -92,6 +95,8 @@ class _Handler(BaseHTTPRequestHandler):
                         "jobs": counts,
                     },
                 )
+            elif parts == ["v1", "queue"]:
+                self._send(200, self.service.queue_snapshot())
             elif parts == ["v1", "jobs"]:
                 namespace = (
                     parse_qs(url.query).get("namespace", [None])[0] or None
@@ -166,6 +171,10 @@ def serve_forever(
     workers: int = 2,
     default_timeout: float | None = None,
     default_max_attempts: int = 1,
+    policies: dict[str, NamespacePolicy] | None = None,
+    aging_seconds: float = 60.0,
+    retention: RetentionPolicy | None = None,
+    gc_interval: float = 300.0,
     log: bool = True,
 ) -> int:
     """Run the service until interrupted (the ``serve`` subcommand body).
@@ -175,13 +184,19 @@ def serve_forever(
     blocks in the server loop.  ``SIGINT``/``SIGTERM`` (KeyboardInterrupt
     / process kill) shut down cleanly: queued jobs stay journaled and a
     restart over the same root re-adopts them — as it does after an
-    unclean ``kill -9``.
+    unclean ``kill -9``.  ``policies``/``aging_seconds`` configure the
+    fair-share scheduler; a ``retention`` policy turns on periodic GC
+    every ``gc_interval`` seconds.
     """
     service = DiagnosisService(
         root,
         workers=workers,
         default_timeout=default_timeout,
         default_max_attempts=default_max_attempts,
+        policies=policies,
+        aging_seconds=aging_seconds,
+        retention=retention,
+        gc_interval=gc_interval,
     ).start()
     server = make_server(service, host=host, port=port, log=log)
     bound_host, bound_port = server.server_address[:2]

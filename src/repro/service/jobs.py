@@ -43,6 +43,7 @@ from typing import Any
 
 __all__ = [
     "JOB_KINDS",
+    "PRIORITIES",
     "SERVICE_STATES",
     "TERMINAL_STATES",
     "JobSpec",
@@ -52,6 +53,9 @@ __all__ = [
 
 #: Work the service knows how to run.
 JOB_KINDS = ("experiment", "scenarios", "arena", "fleet", "diagnose", "sleep")
+
+#: Priority bands, strongest first (the scheduler ages across them).
+PRIORITIES = ("interactive", "normal", "batch")
 
 #: Lifecycle of a service job (exactly one terminal state per job).
 SERVICE_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -89,6 +93,7 @@ class JobSpec:
     kind: str
     payload: dict[str, Any] = field(default_factory=dict)
     namespace: str = "default"
+    priority: str = "normal"
     timeout: float | None = None
     max_attempts: int = 1
     retry_delay: float = 0.1
@@ -97,6 +102,11 @@ class JobSpec:
         if self.kind not in JOB_KINDS:
             raise ValueError(
                 f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; "
+                f"expected one of {PRIORITIES}"
             )
         if not isinstance(self.payload, dict):
             raise ValueError("job payload must be a JSON object")
@@ -118,6 +128,7 @@ class JobSpec:
             "kind": self.kind,
             "payload": self.payload,
             "namespace": self.namespace,
+            "priority": self.priority,
             "timeout": self.timeout,
             "max_attempts": self.max_attempts,
             "retry_delay": self.retry_delay,
@@ -130,6 +141,7 @@ class JobSpec:
             "kind",
             "payload",
             "namespace",
+            "priority",
             "timeout",
             "max_attempts",
             "retry_delay",
@@ -143,6 +155,7 @@ class JobSpec:
             kind=payload["kind"],
             payload=payload.get("payload") or {},
             namespace=payload.get("namespace", "default"),
+            priority=payload.get("priority", "normal"),
             timeout=payload.get("timeout"),
             max_attempts=int(payload.get("max_attempts", 1)),
             retry_delay=float(payload.get("retry_delay", 0.1)),

@@ -1,0 +1,233 @@
+"""Retention policies and garbage collection for the diagnosis service.
+
+A long-running service accretes state forever without a retention
+story: every job ever accepted stays in the journal (and in memory on
+the next restart), every result artifact stays on disk, and every
+tenant cache subtree only grows.  This module prunes all three under
+one declarative :class:`RetentionPolicy`:
+
+Journal entries
+    Terminal jobs (``done`` / ``cancelled`` by default; ``failed``
+    opt-in) older than ``max_age_seconds``, or beyond the newest
+    ``max_per_namespace`` per tenant, are dropped and the journal is
+    *compacted* — rewritten atomically through
+    :func:`repro.service.store.compact_journal`, so a ``kill -9``
+    mid-compaction leaves either the old journal or the new one intact,
+    never a hybrid.  Non-terminal jobs are never prunable.
+
+Result artifacts
+    After compaction, any result file whose job id the journal no
+    longer knows is deleted — including strays from a crash between a
+    previous compaction and its artifact sweep (the sweep is
+    idempotent, so re-running GC finishes what a killed run started).
+
+Cache subtrees
+    Per-namespace ``cache/`` files older than ``cache_max_age_seconds``
+    (by mtime) are removed; quarantined evidence ages out the same way.
+
+:func:`run_gc` is the offline entry point (the ``python -m repro gc``
+CLI) for a root no service currently owns; a live
+:class:`~repro.service.service.DiagnosisService` runs the same
+selection through :meth:`~repro.service.service.DiagnosisService.run_gc`,
+which additionally holds the journal append lock during compaction and
+drops pruned jobs from its in-memory table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from .store import compact_journal, replay_store
+
+__all__ = ["RetentionPolicy", "run_gc", "select_prunable", "sweep_artifacts"]
+
+#: Terminal states prunable by default (``failed`` kept as evidence).
+DEFAULT_PRUNABLE_STATES = ("done", "cancelled")
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """What terminal jobs and tenant files are allowed to age out.
+
+    ``max_age_seconds`` prunes terminal jobs whose completion (falling
+    back to submission) time is older; ``max_per_namespace`` keeps only
+    the newest N terminal jobs per tenant.  ``None`` disables that
+    axis.  ``states`` lists the terminal states eligible for pruning —
+    ``failed`` is excluded by default so post-mortems survive GC.
+    ``cache_max_age_seconds`` ages out per-namespace cache files.
+    """
+
+    max_age_seconds: float | None = None
+    max_per_namespace: int | None = None
+    states: tuple[str, ...] = DEFAULT_PRUNABLE_STATES
+    cache_max_age_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_age_seconds is not None and self.max_age_seconds < 0:
+            raise ValueError("max_age_seconds must be non-negative (or None)")
+        if self.max_per_namespace is not None and self.max_per_namespace < 0:
+            raise ValueError("max_per_namespace must be non-negative (or None)")
+        bad = set(self.states) - {"done", "failed", "cancelled"}
+        if bad:
+            raise ValueError(f"non-terminal states are never prunable: {sorted(bad)}")
+        if (
+            self.cache_max_age_seconds is not None
+            and self.cache_max_age_seconds < 0
+        ):
+            raise ValueError("cache_max_age_seconds must be non-negative (or None)")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any pruning axis is configured."""
+        return (
+            self.max_age_seconds is not None
+            or self.max_per_namespace is not None
+            or self.cache_max_age_seconds is not None
+        )
+
+
+def select_prunable(
+    rows: Iterable[tuple[str, str, str, float]],
+    policy: RetentionPolicy,
+    now: float | None = None,
+) -> set[str]:
+    """Pick the job ids a policy allows pruning.
+
+    ``rows`` are ``(job_id, namespace, state, finished_unix)`` tuples —
+    terminal jobs only (the caller guarantees it; non-terminal states
+    are skipped defensively here too).  Age and per-namespace count
+    limits compose: a job is pruned if *either* axis condemns it.
+    """
+    now = time.time() if now is None else now
+    prune: set[str] = set()
+    per_namespace: dict[str, list[tuple[float, str]]] = {}
+    for job_id, namespace, state, finished_unix in rows:
+        if state not in policy.states:
+            continue
+        if (
+            policy.max_age_seconds is not None
+            and now - finished_unix > policy.max_age_seconds
+        ):
+            prune.add(job_id)
+        per_namespace.setdefault(namespace, []).append((finished_unix, job_id))
+    if policy.max_per_namespace is not None:
+        for entries in per_namespace.values():
+            entries.sort(reverse=True)  # newest first
+            for _, job_id in entries[policy.max_per_namespace:]:
+                prune.add(job_id)
+    return prune
+
+
+def sweep_artifacts(
+    root: Path | str,
+    drop: set[str],
+    keep: set[str] | None = None,
+    cache_max_age_seconds: float | None = None,
+    now: float | None = None,
+) -> dict[str, int]:
+    """Remove tenant files the journal no longer vouches for.
+
+    Deletes ``<root>/<ns>/results/<job>.json`` artifacts whose job id
+    is in ``drop`` — and, when ``keep`` is given (offline/exact mode:
+    no live service racing the sweep), any artifact *not* in ``keep``,
+    which catches orphans from a GC killed between compaction and
+    sweep.  When ``cache_max_age_seconds`` is set, ``<root>/<ns>/cache``
+    files older than that age by mtime go too.  Also clears stale
+    ``*.compact.tmp`` leftovers from a compaction killed mid-rewrite.
+    Idempotent by construction — crash and re-run freely.
+    """
+    root = Path(root)
+    now = time.time() if now is None else now
+    artifacts_deleted = 0
+    cache_deleted = 0
+    tmp_cleared = 0
+    for stale in root.glob("*.compact.tmp"):
+        stale.unlink(missing_ok=True)
+        tmp_cleared += 1
+    if not root.is_dir():
+        return {
+            "artifacts_deleted": 0,
+            "cache_files_deleted": 0,
+            "stale_tmp_cleared": tmp_cleared,
+        }
+    for namespace_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        results = namespace_dir / "results"
+        if results.is_dir():
+            for artifact in results.glob("*.json"):
+                doomed = artifact.stem in drop or (
+                    keep is not None and artifact.stem not in keep
+                )
+                if doomed:
+                    artifact.unlink(missing_ok=True)
+                    artifacts_deleted += 1
+        cache = namespace_dir / "cache"
+        if cache_max_age_seconds is not None and cache.is_dir():
+            for entry in cache.rglob("*"):
+                try:
+                    if (
+                        entry.is_file()
+                        and now - entry.stat().st_mtime > cache_max_age_seconds
+                    ):
+                        entry.unlink(missing_ok=True)
+                        cache_deleted += 1
+                except OSError:
+                    continue  # raced with a writer; next GC gets it
+    return {
+        "artifacts_deleted": artifacts_deleted,
+        "cache_files_deleted": cache_deleted,
+        "stale_tmp_cleared": tmp_cleared,
+    }
+
+
+def run_gc(
+    root: Path | str,
+    policy: RetentionPolicy,
+    now: float | None = None,
+    dry_run: bool = False,
+) -> dict[str, Any]:
+    """Offline GC pass over a service root (no live service attached).
+
+    Replays the journal, selects prunable terminal jobs under
+    ``policy``, compacts the journal (atomic rewrite), then sweeps
+    orphaned artifacts and aged cache files.  ``dry_run`` reports what
+    *would* be pruned without touching the disk.  Returns a JSON-able
+    report.
+
+    Do not run this against a root a live ``serve`` process owns — the
+    offline rewrite cannot hold that process's append lock; use the
+    service's own periodic GC (``serve --retain-*``) there instead.
+    """
+    root = Path(root)
+    now = time.time() if now is None else now
+    journal = root / "service.journal.jsonl"
+    records = replay_store(journal)
+    rows = [
+        (r.job_id, r.spec.namespace, r.state, r.done_unix or r.submitted_unix)
+        for r in records.values()
+        if r.terminal
+    ]
+    prune = select_prunable(rows, policy, now=now)
+    keep = set(records) - prune
+    report: dict[str, Any] = {
+        "schema": "repro-service-gc/v1",
+        "root": str(root),
+        "dry_run": dry_run,
+        "jobs_total": len(records),
+        "jobs_pruned": len(prune),
+        "jobs_kept": len(keep),
+        "pruned_job_ids": sorted(prune),
+    }
+    if dry_run:
+        return report
+    report["journal"] = compact_journal(journal, keep)
+    report["swept"] = sweep_artifacts(
+        root,
+        drop=prune,
+        keep=keep,
+        cache_max_age_seconds=policy.cache_max_age_seconds,
+        now=now,
+    )
+    return report

@@ -1,0 +1,403 @@
+"""Fair-share job scheduler for the diagnosis service.
+
+The paper's premise (Fig. 2) is that ion traps already burn ~half their
+wall-clock on testing and calibration — diagnosis work has to be
+scheduled *around* client jobs, not FIFO'd ahead of them.  This module
+replaces the service's single ``queue.Queue`` with a real scheduler:
+
+Weighted fair share across namespaces
+    Stride scheduling over per-namespace virtual time: each namespace
+    carries a ``pass`` value advanced by ``1 / weight`` per dispatch,
+    and the eligible namespace with the smallest pass dispatches next.
+    Over any backlogged interval each tenant's share of dispatches
+    converges to its weight fraction, regardless of submission bursts.
+
+Priority bands with starvation-proof aging
+    Within a namespace, three bands — ``interactive`` > ``normal`` >
+    ``batch`` — each FIFO.  A band head's *effective* priority is its
+    band rank minus ``waited / aging_seconds``, so a batch job that has
+    waited ``2 * aging_seconds`` outranks a fresh interactive job:
+    strict priority in the short run, guaranteed progress in the long
+    run.
+
+Rate limits and inflight caps
+    Each namespace can carry a token bucket (``rate_limit`` dispatches
+    per second, ``burst`` capacity) and a ``max_inflight`` cap.  A
+    namespace with no tokens or a full inflight window is simply not
+    eligible — its jobs wait without blocking other tenants.
+
+Shutdown as part of the API
+    :meth:`FairScheduler.stop` wakes *every* blocked :meth:`acquire`
+    with ``None`` — no per-thread sentinel accounting, so a non-FIFO
+    queue can never strand a dispatcher (the bug class the old
+    one-``None``-per-thread drain invited).
+
+The scheduler is pure logic over an injectable monotonic ``clock`` —
+the property tests drive it with a fake clock and seeded traces.  It
+schedules opaque job ids; durability (who re-enqueues what after a
+crash) stays with the service and its journal, which records the
+submission sequence number and each dispatch decision so a restart
+re-adopts the queue in the same order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .jobs import PRIORITIES
+
+__all__ = ["NamespacePolicy", "FairScheduler"]
+
+
+@dataclass(frozen=True)
+class NamespacePolicy:
+    """Scheduling policy of one tenant namespace.
+
+    ``weight`` sets the fair-share fraction (a weight-3 tenant gets 3x
+    the dispatches of a weight-1 tenant while both are backlogged).
+    ``rate_limit`` is a token-bucket rate in dispatches per second with
+    ``burst`` capacity; ``None`` means unlimited.  ``max_inflight``
+    caps how many of the namespace's jobs may run concurrently.
+    """
+
+    weight: float = 1.0
+    rate_limit: float | None = None
+    burst: float = 1.0
+    max_inflight: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.weight > 0:
+            raise ValueError("weight must be positive")
+        if self.rate_limit is not None and not self.rate_limit > 0:
+            raise ValueError("rate_limit must be positive (or None)")
+        if not self.burst >= 1:
+            raise ValueError("burst must be at least 1 token")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1 (or None)")
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-able policy (the ``/v1/queue`` snapshot shape)."""
+        return {
+            "weight": self.weight,
+            "rate_limit": self.rate_limit,
+            "burst": self.burst,
+            "max_inflight": self.max_inflight,
+        }
+
+
+class _Entry:
+    """One queued job (band-FIFO position + aging reference point)."""
+
+    __slots__ = ("job_id", "seq", "enqueued_at")
+
+    def __init__(self, job_id: str, seq: int, enqueued_at: float):
+        self.job_id = job_id
+        self.seq = seq
+        self.enqueued_at = enqueued_at
+
+
+class _NamespaceState:
+    """Mutable scheduler state of one namespace."""
+
+    __slots__ = ("policy", "bands", "pass_value", "tokens", "tokens_at", "inflight")
+
+    def __init__(self, policy: NamespacePolicy, now: float, start_pass: float):
+        self.policy = policy
+        self.bands: list[list[_Entry]] = [[] for _ in PRIORITIES]
+        self.pass_value = start_pass
+        self.tokens = policy.burst
+        self.tokens_at = now
+        self.inflight = 0
+
+    def queued(self) -> int:
+        """Total jobs waiting across this namespace's bands."""
+        return sum(len(band) for band in self.bands)
+
+    def refill(self, now: float) -> None:
+        """Advance the token bucket to ``now`` (no-op when unlimited)."""
+        rate = self.policy.rate_limit
+        if rate is None:
+            return
+        elapsed = max(0.0, now - self.tokens_at)
+        self.tokens = min(self.policy.burst, self.tokens + elapsed * rate)
+        self.tokens_at = now
+
+    def throttled_for(self, now: float) -> float | None:
+        """Seconds until a token is available, ``None`` if unlimited/ready."""
+        rate = self.policy.rate_limit
+        if rate is None:
+            return None
+        self.refill(now)
+        if self.tokens >= 1.0:
+            return None
+        return (1.0 - self.tokens) / rate
+
+
+class FairScheduler:
+    """Weighted fair-share, priority-banded, rate-limited job queue.
+
+    Parameters
+    ----------
+    policies:
+        Per-namespace :class:`NamespacePolicy` overrides; namespaces
+        not listed get ``default_policy``.
+    default_policy:
+        Policy for namespaces without an explicit entry.
+    aging_seconds:
+        Wait time that promotes a job by one full priority band.  A
+        batch job never waits more than ``2 * aging_seconds`` behind a
+        continuously replenished interactive stream.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        policies: dict[str, NamespacePolicy] | None = None,
+        default_policy: NamespacePolicy | None = None,
+        aging_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if aging_seconds <= 0:
+            raise ValueError("aging_seconds must be positive")
+        self.aging_seconds = aging_seconds
+        self.default_policy = default_policy or NamespacePolicy()
+        self._configured = dict(policies or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._namespaces: dict[str, _NamespaceState] = {}
+        self._inflight: dict[str, tuple[str, int]] = {}  # job -> (ns, decision)
+        self._global_pass = 0.0
+        self._decisions = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------- intake
+
+    def _state(self, namespace: str, now: float) -> _NamespaceState:
+        state = self._namespaces.get(namespace)
+        if state is None:
+            policy = self._configured.get(namespace, self.default_policy)
+            state = _NamespaceState(policy, now, start_pass=self._global_pass)
+            self._namespaces[namespace] = state
+        return state
+
+    def submit(
+        self,
+        job_id: str,
+        namespace: str,
+        priority: str = "normal",
+        seq: int = 0,
+        age: float = 0.0,
+    ) -> None:
+        """Enqueue one job id.
+
+        ``seq`` is the caller's global submission sequence number — it
+        fixes FIFO order within a band (and is how a restarted service
+        reconstructs the identical queue order from its journal).
+        ``age`` backdates the aging reference point by that many
+        seconds, so a re-adopted job keeps the wait it had already
+        accumulated before the crash.
+        """
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; expected one of {PRIORITIES}"
+            )
+        band = PRIORITIES.index(priority)
+        with self._ready:
+            if self._stopped:
+                raise RuntimeError("scheduler is stopped; submission refused")
+            now = self._clock()
+            state = self._state(namespace, now)
+            if state.queued() == 0 and state.inflight == 0:
+                # An idle namespace must not cash in credit accumulated
+                # while it had nothing to run: rejoin at the current
+                # virtual time (standard stride-scheduler re-entry).
+                state.pass_value = max(state.pass_value, self._global_pass)
+            entries = state.bands[band]
+            entry = _Entry(job_id, seq, max(0.0, now - max(0.0, age)))
+            entries.append(entry)
+            entries.sort(key=lambda e: e.seq)
+            self._ready.notify_all()
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a still-queued job (queued-cancel); False if not queued."""
+        with self._ready:
+            for state in self._namespaces.values():
+                for band in state.bands:
+                    for index, entry in enumerate(band):
+                        if entry.job_id == job_id:
+                            del band[index]
+                            return True
+        return False
+
+    # ----------------------------------------------------------- dispatch
+
+    def _effective_band(self, band: int, entry: _Entry, now: float) -> float:
+        waited = max(0.0, now - entry.enqueued_at)
+        return band - waited / self.aging_seconds
+
+    def _eligible(self, state: _NamespaceState, now: float) -> bool:
+        if state.queued() == 0:
+            return False
+        cap = state.policy.max_inflight
+        if cap is not None and state.inflight >= cap:
+            return False
+        return state.throttled_for(now) is None
+
+    def _select(self, now: float) -> tuple[str, str] | None:
+        """Pick (job_id, namespace) of the next dispatch, or ``None``."""
+        best: tuple[float, str] | None = None
+        for name, state in self._namespaces.items():
+            if not self._eligible(state, now):
+                continue
+            key = (state.pass_value, name)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None
+        name = best[1]
+        state = self._namespaces[name]
+        choice: tuple[float, int, int] | None = None  # (effective, seq, band)
+        for band, entries in enumerate(state.bands):
+            if not entries:
+                continue
+            head = entries[0]
+            key = (self._effective_band(band, head, now), head.seq, band)
+            if choice is None or key < choice:
+                choice = key
+        assert choice is not None  # state.queued() > 0 by eligibility
+        band = choice[2]
+        entry = state.bands[band].pop(0)
+        if state.policy.rate_limit is not None:
+            state.tokens -= 1.0
+        state.inflight += 1
+        state.pass_value += 1.0 / state.policy.weight
+        self._global_pass = state.pass_value
+        self._decisions += 1
+        self._inflight[entry.job_id] = (name, self._decisions)
+        return entry.job_id, name
+
+    def _next_ready_in(self, now: float) -> float | None:
+        """Seconds until a throttled namespace could become eligible."""
+        waits = []
+        for state in self._namespaces.values():
+            if state.queued() == 0:
+                continue
+            cap = state.policy.max_inflight
+            if cap is not None and state.inflight >= cap:
+                continue  # only a release() can free this; it notifies
+            wait = state.throttled_for(now)
+            if wait is not None:
+                waits.append(wait)
+        return min(waits) if waits else None
+
+    def poll(self) -> str | None:
+        """Non-blocking dispatch: the next job id, or ``None`` for now."""
+        with self._ready:
+            if self._stopped:
+                return None
+            picked = self._select(self._clock())
+            return picked[0] if picked else None
+
+    def acquire(self, timeout: float | None = None) -> str | None:
+        """Block until a job is dispatchable (or stop/timeout).
+
+        Returns the job id, or ``None`` once the scheduler is stopped —
+        the shutdown sentinel *is* the API, so any number of dispatcher
+        threads drain without sentinel counting.  A ``timeout`` also
+        returns ``None``; long-running dispatchers pass no timeout and
+        treat ``None`` as stop.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._ready:
+            while True:
+                if self._stopped:
+                    return None
+                now = self._clock()
+                picked = self._select(now)
+                if picked is not None:
+                    return picked[0]
+                wait = self._next_ready_in(now)
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._ready.wait(timeout=wait)
+
+    def release(self, job_id: str) -> None:
+        """Report a dispatched job finished (done/failed/cancelled).
+
+        Frees its namespace inflight slot and wakes waiters the cap was
+        blocking.  Unknown ids are ignored (a queued-cancel never held
+        a slot).
+        """
+        with self._ready:
+            entry = self._inflight.pop(job_id, None)
+            if entry is None:
+                return
+            state = self._namespaces.get(entry[0])
+            if state is not None and state.inflight > 0:
+                state.inflight -= 1
+            self._ready.notify_all()
+
+    def dispatch_seq(self, job_id: str) -> int | None:
+        """Decision number of an inflight job (journalled by the service)."""
+        with self._lock:
+            entry = self._inflight.get(job_id)
+            return entry[1] if entry else None
+
+    # ----------------------------------------------------------- shutdown
+
+    def stop(self) -> None:
+        """Stop dispatching: every blocked/future ``acquire`` returns None."""
+        with self._ready:
+            self._stopped = True
+            self._ready.notify_all()
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` ran (terminal)."""
+        with self._lock:
+            return self._stopped
+
+    # -------------------------------------------------------- introspection
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able queue state (the ``/v1/queue`` payload body)."""
+        with self._lock:
+            now = self._clock()
+            namespaces: dict[str, Any] = {}
+            total = 0
+            for name in sorted(self._namespaces):
+                state = self._namespaces[name]
+                state.refill(now)
+                queued = {
+                    priority: [e.job_id for e in state.bands[band]]
+                    for band, priority in enumerate(PRIORITIES)
+                }
+                total += state.queued()
+                namespaces[name] = {
+                    **state.policy.to_payload(),
+                    "inflight": state.inflight,
+                    "tokens": (
+                        round(state.tokens, 6)
+                        if state.policy.rate_limit is not None
+                        else None
+                    ),
+                    "pass": round(state.pass_value, 6),
+                    "queued": queued,
+                }
+            return {
+                "schema": "repro-service-queue/v1",
+                "aging_seconds": self.aging_seconds,
+                "stopped": self._stopped,
+                "total_queued": total,
+                "inflight": len(self._inflight),
+                "dispatched": self._decisions,
+                "namespaces": namespaces,
+            }

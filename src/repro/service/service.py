@@ -9,6 +9,19 @@ are killed at the spec's deadline, failures retry under the spec's
 budget, and a ``cancel`` kills the in-flight worker within the pool's
 cancellation poll interval.
 
+Dispatch order is owned by the
+:class:`~repro.service.scheduler.FairScheduler`, not a FIFO: weighted
+fair share across namespaces, ``interactive`` > ``normal`` > ``batch``
+priority bands with starvation-proof aging, per-namespace token-bucket
+rate limits and max-inflight caps.  Every submission carries a journal
+sequence number and every dispatch decision is journalled, so a
+restarted service re-adopts orphans in the same order the dead one
+would have dispatched them.  Retention
+(:mod:`repro.service.retention`) keeps the root bounded: a policy plus
+``gc_interval`` runs periodic GC passes that prune terminal journal
+entries (with a crash-safe compacting rewrite), orphaned result
+artifacts and aged cache files.
+
 Durability comes from the :class:`~repro.service.store.JobStore`
 journal: *submitted* is on disk before ``submit`` returns, *done* is on
 disk only after the result artifact is, and a service restarted over an
@@ -28,8 +41,8 @@ from __future__ import annotations
 
 import json
 import os
-import queue
 import threading
+import time
 import uuid
 from pathlib import Path
 from typing import Any
@@ -39,6 +52,8 @@ from ..exec.outcomes import JobOutcome
 from ..exec.pool import run_supervised
 from ..exec.retry import RetryPolicy
 from .jobs import TERMINAL_STATES, JobSpec, execute_job, outcome_state
+from .retention import RetentionPolicy, select_prunable, sweep_artifacts
+from .scheduler import FairScheduler, NamespacePolicy
 from .store import JobStore, replay_store
 
 __all__ = ["DiagnosisService", "JobNotFoundError", "JobNotFinishedError"]
@@ -55,16 +70,28 @@ class JobNotFinishedError(RuntimeError):
 class _Job:
     """Runtime view of one job (the store holds the durable view)."""
 
-    __slots__ = ("job_id", "spec", "state", "outcome", "result_path", "cancel_event", "adopted")
+    __slots__ = (
+        "job_id",
+        "spec",
+        "seq",
+        "state",
+        "outcome",
+        "result_path",
+        "cancel_event",
+        "adopted",
+        "done_unix",
+    )
 
-    def __init__(self, job_id: str, spec: JobSpec, adopted: int = 0):
+    def __init__(self, job_id: str, spec: JobSpec, seq: int = 0, adopted: int = 0):
         self.job_id = job_id
         self.spec = spec
+        self.seq = seq
         self.state = "queued"
         self.outcome: JobOutcome | None = None
         self.result_path: Path | None = None
         self.cancel_event = threading.Event()
         self.adopted = adopted
+        self.done_unix: float | None = None
 
 
 class DiagnosisService:
@@ -84,6 +111,15 @@ class DiagnosisService:
     default_timeout, default_max_attempts:
         Fallback resilience parameters for specs that do not set their
         own.
+    policies, default_policy, aging_seconds:
+        Per-namespace :class:`~repro.service.scheduler.NamespacePolicy`
+        overrides, the fallback policy, and the priority-aging constant
+        — all forwarded to the
+        :class:`~repro.service.scheduler.FairScheduler`.
+    retention, gc_interval:
+        Optional :class:`~repro.service.retention.RetentionPolicy`; when
+        set, a background thread runs :meth:`run_gc` every
+        ``gc_interval`` seconds while the service is started.
     """
 
     def __init__(
@@ -92,20 +128,36 @@ class DiagnosisService:
         workers: int = 2,
         default_timeout: float | None = None,
         default_max_attempts: int = 1,
+        policies: dict[str, NamespacePolicy] | None = None,
+        default_policy: NamespacePolicy | None = None,
+        aging_seconds: float = 60.0,
+        retention: RetentionPolicy | None = None,
+        gc_interval: float = 300.0,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if gc_interval <= 0:
+            raise ValueError("gc_interval must be positive")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.workers = workers
         self.default_timeout = default_timeout
         self.default_max_attempts = default_max_attempts
+        self.retention = retention
+        self.gc_interval = gc_interval
         self.store = JobStore(self.root / "service.journal.jsonl")
+        self.scheduler = FairScheduler(
+            policies=policies,
+            default_policy=default_policy,
+            aging_seconds=aging_seconds,
+        )
         self._jobs: dict[str, _Job] = {}
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
-        self._queue: "queue.Queue[str | None]" = queue.Queue()
+        self._seq = 0
         self._threads: list[threading.Thread] = []
+        self._gc_thread: threading.Thread | None = None
+        self._gc_wake = threading.Event()
         self._started = False
         self._stopping = False
         self.adopted: list[str] = []
@@ -114,11 +166,23 @@ class DiagnosisService:
     # ------------------------------------------------------------ lifecycle
 
     def _recover(self) -> None:
-        """Replay the store; re-adopt every non-terminal job."""
+        """Replay the store; re-adopt every non-terminal job.
+
+        Orphans re-enter the scheduler in journal order: previously
+        *dispatched* jobs first (by their journalled ``dispatch_seq`` —
+        the dead service had already chosen them), then still-queued
+        jobs by submission ``seq``, each keeping its original sequence
+        number, priority and accumulated wait — so the revived queue
+        dispatches in the order the dead one would have.
+        """
+        orphans = []
+        now = time.time()
         for job_id, record in replay_store(self.store.path).items():
-            job = _Job(job_id, record.spec, adopted=record.adopted)
+            self._seq = max(self._seq, record.seq)
+            job = _Job(job_id, record.spec, seq=record.seq, adopted=record.adopted)
             if record.terminal:
                 job.state = record.state
+                job.done_unix = record.done_unix or record.submitted_unix
                 job.outcome = JobOutcome(
                     index=0,
                     key=job_id,
@@ -133,9 +197,24 @@ class DiagnosisService:
             # the old process, so the only safe move is to run it again.
             job.adopted += 1
             self._jobs[job_id] = job
-            self.store.record_state(job_id, "queued", adopted=True)
-            self._queue.put(job_id)
-            self.adopted.append(job_id)
+            orphans.append(record)
+        orphans.sort(
+            key=lambda r: (
+                r.dispatch_seq is None,
+                r.dispatch_seq if r.dispatch_seq is not None else r.seq,
+                r.seq,
+            )
+        )
+        for record in orphans:
+            self.store.record_state(record.job_id, "queued", adopted=True)
+            self.scheduler.submit(
+                record.job_id,
+                record.spec.namespace,
+                priority=record.spec.priority,
+                seq=record.seq,
+                age=max(0.0, now - record.submitted_unix),
+            )
+            self.adopted.append(record.job_id)
 
     def start(self) -> "DiagnosisService":
         """Spawn the dispatcher threads (idempotent)."""
@@ -151,6 +230,11 @@ class DiagnosisService:
             )
             thread.start()
             self._threads.append(thread)
+        if self.retention is not None and self._gc_thread is None:
+            self._gc_thread = threading.Thread(
+                target=self._gc_loop, name="repro-service-gc", daemon=True
+            )
+            self._gc_thread.start()
         return self
 
     def stop(self, wait: bool = True) -> None:
@@ -158,15 +242,21 @@ class DiagnosisService:
 
         Queued jobs stay journaled as ``queued`` — a later service over
         the same root re-adopts them.  Running jobs finish their current
-        supervised call.
+        supervised call.  Shutdown is a scheduler-level broadcast
+        (:meth:`FairScheduler.stop`), not a sentinel per thread: every
+        dispatcher's ``acquire`` returns ``None`` no matter how many
+        threads there are or what order they drain in.
         """
         with self._lock:
             self._stopping = True
-        for _ in self._threads:
-            self._queue.put(None)
+        self.scheduler.stop()
+        self._gc_wake.set()
         if wait:
             for thread in self._threads:
                 thread.join()
+            if self._gc_thread is not None:
+                self._gc_thread.join()
+                self._gc_thread = None
         self._threads = []
         self._started = False
 
@@ -205,16 +295,23 @@ class DiagnosisService:
             raise TypeError("submit expects a JobSpec or a spec dict")
         if kwargs:
             raise TypeError("pass spec fields inside the JobSpec/dict")
-        with self._lock:
+        job_id = uuid.uuid4().hex[:16]
+        # Sequence bump, journal append and table insert happen under
+        # the one service lock so a concurrent GC compaction (which
+        # also holds it) can never observe — and drop — a half-accepted
+        # job.
+        with self._changed:
             if self._stopping:
                 raise RuntimeError("service is stopping; submission refused")
-        job_id = uuid.uuid4().hex[:16]
-        job = _Job(job_id, spec)
-        self.store.record_submitted(job_id, spec)
-        with self._changed:
+            self._seq += 1
+            seq = self._seq
+            job = _Job(job_id, spec, seq=seq)
+            self.store.record_submitted(job_id, spec, seq=seq)
             self._jobs[job_id] = job
             self._changed.notify_all()
-        self._queue.put(job_id)
+        self.scheduler.submit(
+            job_id, spec.namespace, priority=spec.priority, seq=seq
+        )
         return job_id
 
     def _get(self, job_id: str) -> _Job:
@@ -232,6 +329,8 @@ class DiagnosisService:
                 "job_id": job.job_id,
                 "namespace": job.spec.namespace,
                 "kind": job.spec.kind,
+                "priority": job.spec.priority,
+                "seq": job.seq,
                 "state": job.state,
                 "status": outcome.status if outcome else None,
                 "n_attempts": outcome.n_attempts if outcome else 0,
@@ -278,7 +377,12 @@ class DiagnosisService:
                 return False
             job.cancel_event.set()
             if job.state == "queued":
+                # Pull it out of the scheduler too; if a dispatcher
+                # already acquired it (remove() returns False), the
+                # cancel_event makes that dispatcher drop it.
+                self.scheduler.remove(job_id)
                 job.state = "cancelled"
+                job.done_unix = time.time()
                 job.outcome = JobOutcome(
                     index=0, key=job_id, status="cancelled", attempts=[]
                 )
@@ -306,21 +410,42 @@ class DiagnosisService:
             rows = [row for row in rows if row["namespace"] == namespace]
         return rows
 
+    # ------------------------------------------------------------ scheduler
+
+    def queue_snapshot(self) -> dict[str, Any]:
+        """Scheduler introspection (the ``/v1/queue`` payload):
+        per-namespace queues by priority band, inflight counts, token
+        and virtual-time state, plus job-state totals."""
+        snapshot = self.scheduler.snapshot()
+        states: dict[str, int] = {}
+        with self._lock:
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        snapshot["job_states"] = states
+        return snapshot
+
     # ------------------------------------------------------------ dispatch
 
     def _dispatch_loop(self) -> None:
         while True:
-            job_id = self._queue.get()
+            job_id = self.scheduler.acquire()
             if job_id is None:
-                return
+                return  # scheduler stopped: the shutdown sentinel is the API
             job = self._jobs.get(job_id)
-            if job is None:
+            dispatched = False
+            if job is not None:
+                with self._lock:
+                    if job.state == "queued" and not job.cancel_event.is_set():
+                        job.state = "running"
+                        dispatched = True
+            if not dispatched:
+                # Cancelled (or unknown) between enqueue and acquire:
+                # give the inflight slot straight back.
+                self.scheduler.release(job_id)
                 continue
-            with self._lock:
-                if job.state != "queued" or job.cancel_event.is_set():
-                    continue  # cancelled (or completed by an old record)
-                job.state = "running"
-            self.store.record_state(job_id, "running")
+            self.store.record_state(
+                job_id, "running", dispatch_seq=self.scheduler.dispatch_seq(job_id)
+            )
             try:
                 self._run_job(job)
             except Exception as exc:  # noqa: BLE001 — a dispatcher must not die
@@ -410,7 +535,77 @@ class DiagnosisService:
             job.outcome = outcome
             job.result_path = result_path
             job.state = state
+            job.done_unix = time.time()
             self._changed.notify_all()
+        self.scheduler.release(job.job_id)
+
+    # ------------------------------------------------------------ retention
+
+    def _gc_loop(self) -> None:
+        """Background retention passes every ``gc_interval`` seconds."""
+        while not self._gc_wake.wait(timeout=self.gc_interval):
+            try:
+                self.run_gc()
+            except Exception:  # noqa: BLE001 — GC must never kill the service
+                continue
+
+    def run_gc(
+        self, policy: RetentionPolicy | None = None, now: float | None = None
+    ) -> dict[str, Any]:
+        """One live GC pass under ``policy`` (default: the service's).
+
+        Selects prunable *terminal* jobs from the in-memory table (a
+        job is only memory-terminal once its journal ``done`` record is
+        on disk, so the journal can never lose a live job), compacts
+        the journal through the store's append lock, drops the pruned
+        jobs from memory, then sweeps orphaned artifacts and aged cache
+        files.  Safe to call any time, including under load.
+        """
+        policy = policy if policy is not None else self.retention
+        if policy is None:
+            raise ValueError("no retention policy configured or given")
+        now = time.time() if now is None else now
+        with self._changed:
+            rows = [
+                (
+                    job.job_id,
+                    job.spec.namespace,
+                    job.state,
+                    job.done_unix or 0.0,
+                )
+                for job in self._jobs.values()
+                if job.state in TERMINAL_STATES
+            ]
+            known = set(self._jobs)
+            prune = select_prunable(rows, policy, now=now)
+            keep = known - prune
+            # Compact while holding the service lock: submit() also
+            # journals under it, so no fresh record can land on the
+            # pre-compaction inode and be lost.
+            journal_stats = self.store.compact(keep)
+            for job_id in prune:
+                self._jobs.pop(job_id, None)
+            self._changed.notify_all()
+        # Live sweep deletes exactly the pruned artifacts (no exact
+        # "keep everything else" pass: a job finishing this instant
+        # must not race it); the offline CLI pass sweeps orphans too.
+        swept = sweep_artifacts(
+            self.root,
+            drop=prune,
+            cache_max_age_seconds=policy.cache_max_age_seconds,
+            now=now,
+        )
+        return {
+            "schema": "repro-service-gc/v1",
+            "root": str(self.root),
+            "dry_run": False,
+            "jobs_total": len(known),
+            "jobs_pruned": len(prune),
+            "jobs_kept": len(keep),
+            "pruned_job_ids": sorted(prune),
+            "journal": journal_stats,
+            "swept": swept,
+        }
 
 
 def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
